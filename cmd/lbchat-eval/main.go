@@ -1,0 +1,97 @@
+// Command lbchat-eval runs the paper's online evaluation (§IV-D): it trains
+// a fleet under a chosen protocol and deploys the trained models on a
+// testing autopilot over the CARLA-style driving benchmark — Straight, One
+// Turn, and full navigation with empty, normal, and dense traffic —
+// printing the driving success rate per condition.
+//
+// Usage:
+//
+//	lbchat-eval -protocol LbChat -trials 16
+//	lbchat-eval -protocol DP -wireless-loss
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"lbchat/internal/eval"
+	"lbchat/internal/experiments"
+	"lbchat/internal/model"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "lbchat-eval: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	protocol := flag.String("protocol", "LbChat",
+		"protocol: LbChat, ProxSkip, RSU-L, DFL-DDS, DP, SCO, LbChat-EqualComp, LbChat-AvgAgg")
+	vehicles := flag.Int("vehicles", 8, "expert fleet size")
+	duration := flag.Float64("duration", 1800, "virtual training duration (s)")
+	trials := flag.Int("trials", 16, "driving trials per condition")
+	lossy := flag.Bool("wireless-loss", false, "enable the distance-based wireless loss model")
+	seed := flag.Uint64("seed", 7, "root random seed")
+	loadDir := flag.String("load-fleet", "", "skip training: load model blobs saved by lbchat-sim -save-fleet")
+	flag.Parse()
+
+	scale := experiments.BenchScale()
+	scale.Vehicles = *vehicles
+	scale.TrainDuration = *duration
+	scale.EvalTrials = *trials
+	scale.Seed = *seed
+
+	fmt.Printf("Building environment (%d vehicles)...\n", scale.Vehicles)
+	env, err := experiments.BuildEnv(scale)
+	if err != nil {
+		return err
+	}
+	var fleet []*model.Policy
+	if *loadDir != "" {
+		blobs, err := filepath.Glob(filepath.Join(*loadDir, "*.lbp"))
+		if err != nil {
+			return err
+		}
+		if len(blobs) == 0 {
+			return fmt.Errorf("no .lbp model blobs in %s", *loadDir)
+		}
+		sort.Strings(blobs)
+		for _, path := range blobs {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			pol, err := model.New(env.Cfg.Model, 0)
+			if err != nil {
+				return err
+			}
+			if err := pol.UnmarshalBinary(raw); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			fleet = append(fleet, pol)
+		}
+		fmt.Printf("Loaded %d models from %s\n", len(fleet), *loadDir)
+	} else {
+		fmt.Printf("Training fleet under %s (%.0fs virtual, wireless loss: %v)...\n",
+			*protocol, *duration, *lossy)
+		run, err := env.RunProtocol(experiments.ProtocolName(*protocol), !*lossy, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Final probe loss: %.4f\n", run.Curve.Final())
+		fleet = run.Fleet
+	}
+
+	fmt.Printf("Running driving benchmark (%d trials per condition)...\n", *trials)
+	rates := env.EvalFleet(fleet)
+	fmt.Printf("\n%-16s %8s\n", "Task", *protocol)
+	for _, cond := range eval.Conditions {
+		fmt.Printf("%-16s %7.0f%%\n", cond.String(), rates[cond])
+	}
+	return nil
+}

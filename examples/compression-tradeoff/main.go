@@ -1,0 +1,129 @@
+// Compression trade-off: the loss-vs-ψ curve behind Eq. (7).
+//
+// The example trains a driving model, sparsifies its delta from the shared
+// initialization at a sweep of compression levels ψ, and measures the loss
+// of each reconstruction on the model's own coreset — the sampled pairs a
+// vehicle would exchange. It then fits the Akima φ curve through the
+// samples and solves Eq. (7) for several peer-value scenarios, showing how
+// the optimizer shifts bandwidth toward the more valuable direction.
+//
+//	go run ./examples/compression-tradeoff
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lbchat/internal/bev"
+	"lbchat/internal/compress"
+	"lbchat/internal/coreset"
+	"lbchat/internal/model"
+	"lbchat/internal/optimize"
+	"lbchat/internal/simrand"
+	"lbchat/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "compression-tradeoff: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	m, err := world.NewMap(world.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	rng := simrand.New(31)
+	w, err := world.New(m, world.SpawnConfig{Experts: 1, BackgroundCars: 30, Pedestrians: 120}, rng)
+	if err != nil {
+		return err
+	}
+	mcfg := model.DefaultConfig()
+	ras := bev.NewRasterizer(bev.DefaultConfig(), m)
+	fmt.Println("Collecting data and training the model...")
+	data := world.CollectDataset(w, ras, mcfg.NumWaypoints, 1000, 0.5)[0]
+
+	pol, err := model.New(mcfg, 1)
+	if err != nil {
+		return err
+	}
+	initFlat := pol.Flat()
+	trng := rng.Derive("train")
+	for step := 0; step < 800; step++ {
+		pol.TrainStep(data.SampleBatch(16, trng))
+	}
+
+	losses := pol.PerSampleLosses(data.Items())
+	cs, err := coreset.Build(data, losses, 150, rng.Derive("cs"))
+	if err != nil {
+		return err
+	}
+	baseLoss := pol.Loss(cs.Items())
+	fmt.Printf("Uncompressed model loss on its coreset: %.5f\n\n", baseLoss)
+
+	// Sweep ψ: compress the delta from the shared init, reconstruct,
+	// evaluate.
+	flat := pol.Flat()
+	delta := make([]float64, len(flat))
+	for i := range flat {
+		delta[i] = flat[i] - initFlat[i]
+	}
+	scratch := pol.Clone()
+	psis := []float64{0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0}
+	lossAt := make([]float64, len(psis))
+	fmt.Printf("%8s %14s %16s %12s\n", "ψ", "kept coords", "payload (MB)", "loss on C")
+	for i, psi := range psis {
+		k := int(psi * float64(len(delta)))
+		sp := compress.TopK(delta, k)
+		rec := append([]float64(nil), initFlat...)
+		for j, idx := range sp.Indices {
+			rec[idx] += sp.Values[j]
+		}
+		if err := scratch.SetFlat(rec); err != nil {
+			return err
+		}
+		lossAt[i] = scratch.Loss(cs.Items())
+		fmt.Printf("%8.2f %14d %16.1f %12.5f\n",
+			psi, sp.K(), psi*52, lossAt[i])
+	}
+
+	phi, err := optimize.FitPhi(psis, lossAt)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nAkima φ fit (interpolated):")
+	for _, psi := range []float64{0.08, 0.3, 0.6, 0.9} {
+		fmt.Printf("  φ(%.2f) = %.5f\n", psi, phi.Predict(psi))
+	}
+
+	// Eq. (7) under different peer-value scenarios. Both sides share the
+	// same φ here; what varies is how much each model is worth to the other.
+	fmt.Println("\nEq. (7) solutions (S = 52 MB, B = 31 Mbps, T_B = 15 s):")
+	fmt.Printf("%28s %8s %8s %10s\n", "scenario", "ψ_send", "ψ_recv", "T_c (s)")
+	scenarios := []struct {
+		name                   string
+		selfOnPeer, peerOnSelf float64
+	}{
+		{"both valuable", baseLoss + 0.08, baseLoss + 0.08},
+		{"only peer valuable", baseLoss + 0.08, baseLoss + 0.001},
+		{"only mine valuable", baseLoss + 0.001, baseLoss + 0.08},
+		{"neither valuable", baseLoss + 0.001, baseLoss + 0.001},
+	}
+	for _, sc := range scenarios {
+		sol := optimize.Solve(optimize.Problem{
+			PhiSelf:         phi,
+			PhiPeer:         phi,
+			LossSelfOnPeer:  sc.selfOnPeer,
+			LossPeerOnSelf:  sc.peerOnSelf,
+			ModelBytes:      52_000_000,
+			MinBandwidthBps: 31e6,
+			TimeBudget:      15,
+			ContactTime:     60,
+			LambdaC:         0.0008,
+		})
+		fmt.Printf("%28s %8.2f %8.2f %10.1f\n", sc.name, sol.PsiSelf, sol.PsiPeer, sol.TransferTime)
+	}
+	return nil
+}

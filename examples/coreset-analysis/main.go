@@ -1,0 +1,117 @@
+// Coreset analysis: how well does Algorithm 1 summarize a driving dataset?
+//
+// The example collects a real driving dataset, then sweeps the coreset
+// budget |C| and reports the ε of Definition II.2 realized on the trained
+// model — |f(x;C) − f(x;D)| / f(x;D) — for layered sampling vs a uniform
+// random subset, plus the wire size of each coreset. It closes with the
+// merge-and-reduce path of §III-D, checking that the loss estimate survives
+// a chain of merges at constant size.
+//
+//	go run ./examples/coreset-analysis
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"lbchat/internal/bev"
+	"lbchat/internal/coreset"
+	"lbchat/internal/dataset"
+	"lbchat/internal/model"
+	"lbchat/internal/simrand"
+	"lbchat/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "coreset-analysis: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	m, err := world.NewMap(world.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	rng := simrand.New(23)
+	w, err := world.New(m, world.SpawnConfig{Experts: 1, BackgroundCars: 30, Pedestrians: 120}, rng)
+	if err != nil {
+		return err
+	}
+	mcfg := model.DefaultConfig()
+	ras := bev.NewRasterizer(bev.DefaultConfig(), m)
+	fmt.Println("Collecting 1500 driving frames...")
+	data := world.CollectDataset(w, ras, mcfg.NumWaypoints, 1500, 0.5)[0]
+
+	pol, err := model.New(mcfg, 1)
+	if err != nil {
+		return err
+	}
+	trng := rng.Derive("train")
+	fmt.Println("Training the local model (600 steps)...")
+	for step := 0; step < 600; step++ {
+		pol.TrainStep(data.SampleBatch(16, trng))
+	}
+	fullLoss := pol.Loss(data.Items())
+	fmt.Printf("Full-dataset loss f(x;D) = %.5f over %d frames\n\n", fullLoss, data.Len())
+
+	losses := pol.PerSampleLosses(data.Items())
+	lossFn := func(items []dataset.Weighted) float64 { return pol.Loss(items) }
+
+	fmt.Printf("%8s %12s %14s %14s\n", "|C|", "wire size", "layered ε", "uniform ε")
+	for _, size := range []int{15, 50, 150, 500, 1500} {
+		const trials = 8
+		var layered, uniform float64
+		for trial := 0; trial < trials; trial++ {
+			tr := simrand.New(uint64(100 + trial))
+			cs, err := coreset.Build(data, losses, size, tr)
+			if err != nil {
+				return err
+			}
+			layered += coreset.ApproximationError(cs, data, lossFn)
+
+			k := size
+			if k > data.Len() {
+				k = data.Len()
+			}
+			perm := tr.Perm(data.Len())[:k]
+			sub := coreset.FromDataset(data.Subset(perm))
+			uniform += coreset.ApproximationError(sub, data, lossFn)
+		}
+		fmt.Printf("%8d %9d kB %14.4f %14.4f\n",
+			size, size*4000/1000, layered/trials, uniform/trials)
+	}
+
+	// Merge-and-reduce: chain 6 merges at constant size and watch the
+	// estimate.
+	fmt.Println("\nMerge-and-reduce chain (|C| held at 150):")
+	mrng := rng.Derive("merge")
+	parts := 6
+	per := data.Len() / parts
+	var acc *coreset.Coreset
+	for i := 0; i < parts; i++ {
+		idx := make([]int, 0, per)
+		for j := i * per; j < (i+1)*per; j++ {
+			idx = append(idx, j)
+		}
+		part := data.Subset(idx)
+		partLosses := pol.PerSampleLosses(part.Items())
+		cs, err := coreset.Build(part, partLosses, 150, mrng)
+		if err != nil {
+			return err
+		}
+		if acc == nil {
+			acc = cs
+		} else {
+			if acc, err = coreset.MergeReduce(acc, cs, 150, mrng); err != nil {
+				return err
+			}
+		}
+		est := pol.Loss(acc.Items())
+		fmt.Printf("  after part %d: |C| = %3d, f(x;C) = %.5f (ε = %.3f)\n",
+			i+1, acc.Len(), est, math.Abs(est-fullLoss)/fullLoss)
+	}
+	return nil
+}

@@ -1,0 +1,194 @@
+// Quickstart: one complete LbChat "chat" between two vehicles, step by step.
+//
+// Two vehicles collect driving data in different parts of the map, train
+// local models, and then meet. The example walks through Algorithm 2's
+// pairwise exchange explicitly: coreset construction (Algorithm 1), value
+// assessment on the exchanged coresets, φ-curve fitting, the Eq. (7)
+// compression optimization, the transfer, and the Eq. (8) aggregation —
+// printing every intermediate quantity.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lbchat/internal/bev"
+	"lbchat/internal/compress"
+	"lbchat/internal/coreset"
+	"lbchat/internal/model"
+	"lbchat/internal/optimize"
+	"lbchat/internal/simrand"
+	"lbchat/internal/world"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- Set the stage: a driving world and two vehicles with data. -----
+	m, err := world.NewMap(world.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	rng := simrand.New(42)
+	w, err := world.New(m, world.SpawnConfig{Experts: 2, BackgroundCars: 20, Pedestrians: 80}, rng)
+	if err != nil {
+		return err
+	}
+	mcfg := model.DefaultConfig()
+	ras := bev.NewRasterizer(bev.DefaultConfig(), m)
+	fmt.Println("Collecting driving data for two vehicles (2 fps)...")
+	datasets := world.CollectDataset(w, ras, mcfg.NumWaypoints, 600, 0.5)
+	dataA, dataB := datasets[0], datasets[1]
+
+	polA, err := model.New(mcfg, 1) // identical initialization, as the paper assumes
+	if err != nil {
+		return err
+	}
+	polB := polA.Clone()
+	initFlat := polA.Flat()
+
+	fmt.Println("Local training: 400 steps each on their own data...")
+	rngA, rngB := rng.Derive("trainA"), rng.Derive("trainB")
+	for step := 0; step < 400; step++ {
+		polA.TrainStep(dataA.SampleBatch(16, rngA))
+		polB.TrainStep(dataB.SampleBatch(16, rngB))
+	}
+
+	// --- Line 8: construct coresets with Algorithm 1. --------------------
+	const coresetSize = 100
+	lossesA := polA.PerSampleLosses(dataA.Items())
+	csA, err := coreset.Build(dataA, lossesA, coresetSize, rng.Derive("csA"))
+	if err != nil {
+		return err
+	}
+	lossesB := polB.PerSampleLosses(dataB.Items())
+	csB, err := coreset.Build(dataB, lossesB, coresetSize, rng.Derive("csB"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Coresets built: |C_A| = %d (%0.f kB on the wire), |C_B| = %d\n",
+		csA.Len(), float64(csA.Len()*4000)/1000, csB.Len())
+
+	// --- Lines 9–12: exchange coresets and assess model value. ----------
+	lossAonA := polA.Loss(csA.Items())
+	lossAonB := polA.Loss(csB.Items())
+	lossBonB := polB.Loss(csB.Items())
+	lossBonA := polB.Loss(csA.Items())
+	fmt.Printf("\nValue assessment (weighted losses):\n")
+	fmt.Printf("  f(x_A; C_A) = %.4f   f(x_A; C_B) = %.4f\n", lossAonA, lossAonB)
+	fmt.Printf("  f(x_B; C_B) = %.4f   f(x_B; C_A) = %.4f\n", lossBonB, lossBonA)
+	fmt.Printf("  → B's model is %s to A (gap %.4f)\n",
+		valueWord(lossAonB-lossBonB), lossAonB-lossBonB)
+	fmt.Printf("  → A's model is %s to B (gap %.4f)\n",
+		valueWord(lossBonA-lossAonA), lossBonA-lossAonA)
+
+	// --- Fit φ curves: compressed-model loss vs ψ. -----------------------
+	psis := []float64{0.05, 0.2, 0.5, 1.0}
+	scratch := polA.Clone()
+	fitFor := func(pol *model.Policy, cs *coreset.Coreset) (*optimize.PhiCurve, []float64, error) {
+		flat := pol.Flat()
+		losses := make([]float64, len(psis))
+		for i, psi := range psis {
+			delta := make([]float64, len(flat))
+			for j := range flat {
+				delta[j] = flat[j] - initFlat[j]
+			}
+			sp := compress.TopK(delta, int(psi*float64(len(delta))))
+			rec := append([]float64(nil), initFlat...)
+			for k, idx := range sp.Indices {
+				rec[idx] += sp.Values[k]
+			}
+			if err := scratch.SetFlat(rec); err != nil {
+				return nil, nil, err
+			}
+			losses[i] = scratch.Loss(cs.Items())
+		}
+		curve, err := optimize.FitPhi(psis, losses)
+		return curve, losses, err
+	}
+	phiA, lossesPhiA, err := fitFor(polA, csA)
+	if err != nil {
+		return err
+	}
+	phiB, _, err := fitFor(polB, csB)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nφ_A samples (ψ → loss on C_A): ")
+	for i, psi := range psis {
+		fmt.Printf("(%.2f, %.4f) ", psi, lossesPhiA[i])
+	}
+	fmt.Println()
+
+	// --- Line 13: optimize compression ratios with Eq. (7). -------------
+	sol := optimize.Solve(optimize.Problem{
+		PhiSelf:         phiA,
+		PhiPeer:         phiB,
+		LossSelfOnPeer:  lossAonB,
+		LossPeerOnSelf:  lossBonA,
+		ModelBytes:      52_000_000, // the paper's model size over the air
+		MinBandwidthBps: 31e6,
+		TimeBudget:      15,
+		ContactTime:     40,
+		LambdaC:         0.0008,
+	})
+	fmt.Printf("\nEq. (7) solution: ψ_A = %.2f (A sends), ψ_B = %.2f (A receives)\n",
+		sol.PsiSelf, sol.PsiPeer)
+	fmt.Printf("  expected gains: A ← %.4f, B ← %.4f; transfer time %.1fs of the 15s budget\n",
+		sol.GainSelf, sol.GainPeer, sol.TransferTime)
+
+	// --- Lines 14–15: transfer and aggregate with Eq. (8). --------------
+	if sol.PsiPeer > 0 {
+		flatB := polB.Flat()
+		delta := make([]float64, len(flatB))
+		for j := range flatB {
+			delta[j] = flatB[j] - initFlat[j]
+		}
+		sp := compress.TopK(delta, int(sol.PsiPeer*float64(len(delta))))
+		rec := append([]float64(nil), initFlat...)
+		for k, idx := range sp.Indices {
+			rec[idx] += sp.Values[k]
+		}
+		if err := scratch.SetFlat(rec); err != nil {
+			return err
+		}
+		// Joint evaluation set: A's coreset ∪ B's coreset (fast path of §III-D).
+		union := coreset.Merge(csA, csB)
+		lossSelf := polA.Loss(union.Items())
+		lossPeer := scratch.Loss(union.Items())
+		wSelf := lossPeer / (lossSelf + lossPeer)
+		wPeer := 1 - wSelf
+		fmt.Printf("\nEq. (8) aggregation on C_A ∪ C_B: w_self = %.2f, w_peer = %.2f\n", wSelf, wPeer)
+		selfFlat := polA.Flat()
+		for i := range selfFlat {
+			selfFlat[i] = wSelf*selfFlat[i] + wPeer*rec[i]
+		}
+		if err := polA.SetFlat(selfFlat); err != nil {
+			return err
+		}
+	}
+
+	// --- Line 16: expand A's dataset with B's coreset. -------------------
+	before := dataA.Len()
+	dataA.Absorb(csB.Data(), 1)
+	fmt.Printf("\nDataset expansion: |D_A| %d → %d (absorbed %d coreset frames)\n",
+		before, dataA.Len(), csB.Len())
+
+	fmt.Printf("\nAfter the chat, A's loss on B's coreset: %.4f (was %.4f)\n",
+		polA.Loss(csB.Items()), lossAonB)
+	return nil
+}
+
+func valueWord(gap float64) string {
+	if gap > 0.005 {
+		return "VALUABLE"
+	}
+	return "of little value"
+}

@@ -1,0 +1,3 @@
+module lbchat
+
+go 1.22

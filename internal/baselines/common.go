@@ -1,0 +1,78 @@
+// Package baselines reimplements the paper's four comparison protocols over
+// the same co-simulation engine, radio model, and driving model as LbChat:
+//
+//   - ProxSkip [28]: central-server federated learning with probabilistic
+//     communication skipping and an idealistic unconstrained backend.
+//   - RSU-L [29]: road-side-unit coordinators at intersections that merge
+//     and redistribute models opportunistically.
+//   - DFL-DDS [30]: synchronous fully-decentralized rounds with
+//     data-source-diversity aggregation weights.
+//   - DP [5]: asynchronous gossip with loss-based logarithmic merge weights.
+//
+// DFL-DDS and DP are subject to exactly LbChat's communication constraints
+// (same radio, bandwidths, contact windows), with per-encounter compression
+// ratios computed to fit the contact duration, as §IV-B prescribes for a
+// fair comparison.
+package baselines
+
+import (
+	"math"
+
+	"lbchat/internal/core"
+)
+
+// fitWindowPsi returns the equal compression level at which two model
+// payloads fit the exchange window at the negotiated bandwidth.
+func fitWindowPsi(windowSeconds, minBWBps float64, modelBytes int) float64 {
+	if windowSeconds <= 0 || minBWBps <= 0 || modelBytes <= 0 {
+		return 0
+	}
+	psi := windowSeconds * minBWBps / 8 / float64(2*modelBytes)
+	return math.Min(1, psi)
+}
+
+// exchangeModels ships both vehicles' models compressed at the given equal
+// level, sequentially within the window. It returns each direction's
+// decompressed payload (nil when the transfer failed) and the total elapsed
+// time. Receive counters are recorded on the receiving vehicles.
+func exchangeModels(e *core.Engine, a, b *core.Vehicle, psi, window float64) (fromA, fromB []float64, elapsed float64) {
+	if psi <= 0 {
+		return nil, nil, 0
+	}
+	bytes := e.CompressedModelBytes(psi)
+	recA := e.CompressReconstruct(a.Policy.Flat(), psi)
+	resAB := e.SimulateTransfer(bytes, a.ID, b.ID, window)
+	b.Recv.Record(resAB.Completed)
+	elapsed = resAB.Elapsed
+	if resAB.Completed {
+		fromA = recA
+	}
+
+	recB := e.CompressReconstruct(b.Policy.Flat(), psi)
+	resBA := e.SimulateTransfer(bytes, b.ID, a.ID, window-elapsed)
+	a.Recv.Record(resBA.Completed)
+	elapsed += resBA.Elapsed
+	if resBA.Completed {
+		fromB = recB
+	}
+	return fromA, fromB, elapsed
+}
+
+// averageFlat returns the elementwise mean of the given parameter vectors.
+// Empty input returns nil.
+func averageFlat(vecs [][]float64) []float64 {
+	if len(vecs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vecs[0]))
+	for _, v := range vecs {
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	inv := 1 / float64(len(vecs))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

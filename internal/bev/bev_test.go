@@ -1,0 +1,139 @@
+package bev
+
+import (
+	"testing"
+
+	"lbchat/internal/geom"
+)
+
+// bandRoad is drivable wherever |Y| < halfWidth — an infinite horizontal
+// road along the x-axis.
+type bandRoad struct{ halfWidth float64 }
+
+func (b bandRoad) IsRoad(p geom.Point) bool { return p.Y > -b.halfWidth && p.Y < b.halfWidth }
+
+func cellAt(cfg Config, out []uint8, channel, row, col int) uint8 {
+	return out[channel*cfg.Height*cfg.Width+row*cfg.Width+col]
+}
+
+func TestConfigGeometry(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Size() != NumChannels*cfg.Height*cfg.Width {
+		t.Errorf("Size = %d", cfg.Size())
+	}
+	if cfg.CellSize() != cfg.Range/float64(cfg.Height) {
+		t.Errorf("CellSize = %v", cfg.CellSize())
+	}
+}
+
+func TestRoadChannelAhead(t *testing.T) {
+	cfg := Config{Height: 8, Width: 8, Range: 32}
+	ras := NewRasterizer(cfg, bandRoad{halfWidth: 6})
+	// Ego at origin heading east: the road band straddles the center
+	// columns of the grid for every row ahead.
+	out := ras.Rasterize(geom.Frame{Origin: geom.Pt(0, 0), Heading: 0}, nil, nil)
+	for row := 0; row < cfg.Height; row++ {
+		// Lateral extent of road: |lat| < 6 → columns 2..5 (cells of 4 m).
+		for col := 0; col < cfg.Width; col++ {
+			lat := -16 + (float64(col)+0.5)*4
+			want := uint8(0)
+			if lat > -6 && lat < 6 {
+				want = 1
+			}
+			if got := cellAt(cfg, out, ChannelRoad, row, col); got != want {
+				t.Fatalf("road[%d][%d] = %d, want %d", row, col, got, want)
+			}
+		}
+	}
+}
+
+func TestVehicleMarkPosition(t *testing.T) {
+	cfg := Config{Height: 16, Width: 16, Range: 32}
+	ras := NewRasterizer(cfg, bandRoad{halfWidth: 100})
+	frame := geom.Frame{Origin: geom.Pt(0, 0), Heading: 0}
+	// One car 10 m directly ahead.
+	out := ras.Rasterize(frame, []geom.Point{geom.Pt(10, 0)}, nil)
+	// Forward 10 m → row = H-1 - 10/2 = 10; center columns.
+	found := false
+	plane := cfg.Height * cfg.Width
+	for row := 9; row <= 11; row++ {
+		for col := 6; col <= 9; col++ {
+			if out[ChannelVehicles*plane+row*cfg.Width+col] == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("car ahead not marked near expected cells")
+	}
+	// Nothing in the pedestrian channel.
+	for i := 0; i < plane; i++ {
+		if out[ChannelPedestrians*plane+i] != 0 {
+			t.Fatal("pedestrian channel contaminated")
+		}
+	}
+}
+
+func TestEntitiesBehindInvisible(t *testing.T) {
+	cfg := DefaultConfig()
+	ras := NewRasterizer(cfg, bandRoad{halfWidth: 100})
+	frame := geom.Frame{Origin: geom.Pt(0, 0), Heading: 0}
+	out := ras.Rasterize(frame, []geom.Point{geom.Pt(-15, 0)}, []geom.Point{geom.Pt(-8, 1)})
+	plane := cfg.Height * cfg.Width
+	for i := plane; i < 3*plane; i++ {
+		if out[i] != 0 {
+			t.Fatal("entity behind the ego appeared in the BEV")
+		}
+	}
+}
+
+func TestFootprintLargerForVehicles(t *testing.T) {
+	cfg := Config{Height: 16, Width: 16, Range: 32}
+	ras := NewRasterizer(cfg, bandRoad{halfWidth: 100})
+	frame := geom.Frame{Origin: geom.Pt(0, 0), Heading: 0}
+	out := ras.Rasterize(frame, []geom.Point{geom.Pt(16, 0)}, []geom.Point{geom.Pt(16, 0)})
+	plane := cfg.Height * cfg.Width
+	cars, peds := 0, 0
+	for i := 0; i < plane; i++ {
+		cars += int(out[ChannelVehicles*plane+i])
+		peds += int(out[ChannelPedestrians*plane+i])
+	}
+	if cars <= peds {
+		t.Errorf("car footprint (%d cells) not larger than pedestrian (%d)", cars, peds)
+	}
+	if cars == 0 || peds == 0 {
+		t.Errorf("footprints missing: cars=%d peds=%d", cars, peds)
+	}
+}
+
+func TestRasterizeRespectsHeading(t *testing.T) {
+	cfg := Config{Height: 8, Width: 8, Range: 32}
+	ras := NewRasterizer(cfg, bandRoad{halfWidth: 100})
+	// Ego heading north; a car due north is "ahead".
+	frame := geom.Frame{Origin: geom.Pt(0, 0), Heading: 1.5707963}
+	out := ras.Rasterize(frame, []geom.Point{geom.Pt(0, 12)}, nil)
+	plane := cfg.Height * cfg.Width
+	marked := 0
+	for i := 0; i < plane; i++ {
+		marked += int(out[ChannelVehicles*plane+i])
+	}
+	if marked == 0 {
+		t.Error("northbound ego cannot see car to the north")
+	}
+}
+
+func TestWaypointNormalizationRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	pts := []geom.Point{geom.Pt(5, -3), geom.Pt(0, 0), geom.Pt(31, 10)}
+	for _, p := range pts {
+		x, y := cfg.NormalizeWaypoint(p)
+		back := cfg.DenormalizeWaypoint(x, y)
+		if back.Dist(p) > 1e-9 {
+			t.Errorf("round trip of %v gives %v", p, back)
+		}
+	}
+	x, _ := cfg.NormalizeWaypoint(geom.Pt(cfg.Range, 0))
+	if x != 1 {
+		t.Errorf("range-distance waypoint normalizes to %v, want 1", x)
+	}
+}

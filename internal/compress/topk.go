@@ -1,0 +1,184 @@
+// Package compress implements the model compression used during exchanges:
+// top-k sparsification [22] with index–value pair encoding [23]. The
+// compression level is expressed as ψ = 1/φ ∈ [0, 1], the reciprocal of the
+// paper's compression ratio φ = S/S_c: ψ = 0 sends nothing, ψ = 1 sends the
+// model uncompressed.
+package compress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Bytes-per-entry constants for compressed payload sizing.
+const (
+	// valueBytes is the wire size of one parameter value (float32).
+	valueBytes = 4
+	// indexBytes is the wire size of one parameter index (uint32).
+	indexBytes = 4
+	// headerBytes covers magic + counts.
+	headerBytes = 12
+)
+
+// Sparse is a top-k sparsified model: the k largest-magnitude parameters as
+// index–value pairs, plus the dense length for reconstruction.
+type Sparse struct {
+	// Len is the dense parameter count.
+	Len int
+	// Indices are the kept parameter positions, strictly increasing.
+	Indices []int
+	// Values are the kept parameter values, parallel to Indices.
+	Values []float64
+}
+
+// K returns the number of retained parameters.
+func (s *Sparse) K() int { return len(s.Indices) }
+
+// WireSize returns the transmission size in bytes. When more than half the
+// parameters are kept, a dense encoding (bitmap-free, full vector) is
+// cheaper and is what the size accounts for — so WireSize is monotone in K
+// and never exceeds the uncompressed size plus header.
+func (s *Sparse) WireSize() int {
+	sparse := headerBytes + s.K()*(indexBytes+valueBytes)
+	dense := headerBytes + s.Len*valueBytes
+	if sparse < dense {
+		return sparse
+	}
+	return dense
+}
+
+// KForPsi returns the number of parameters to keep so that the compressed
+// size is approximately ψ × the uncompressed size. ψ is clamped to [0, 1].
+func KForPsi(numParams int, psi float64) int {
+	if psi <= 0 {
+		return 0
+	}
+	if psi >= 1 {
+		return numParams
+	}
+	// Budget in bytes relative to the dense payload.
+	budget := psi * float64(numParams*valueBytes)
+	k := int(budget / float64(indexBytes+valueBytes))
+	if k > numParams {
+		k = numParams
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// PsiForK returns the effective ψ (relative payload size) of keeping k
+// parameters out of numParams.
+func PsiForK(numParams, k int) float64 {
+	if numParams == 0 || k <= 0 {
+		return 0
+	}
+	if k >= numParams {
+		return 1
+	}
+	return math.Min(1, float64(k*(indexBytes+valueBytes))/float64(numParams*valueBytes))
+}
+
+// TopK sparsifies a dense parameter vector to its k largest-magnitude
+// entries. k is clamped to [0, len(flat)].
+func TopK(flat []float64, k int) *Sparse {
+	n := len(flat)
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	s := &Sparse{Len: n}
+	if k == 0 {
+		return s
+	}
+	if k == n {
+		s.Indices = make([]int, n)
+		s.Values = make([]float64, n)
+		for i, v := range flat {
+			s.Indices[i] = i
+			s.Values[i] = v
+		}
+		return s
+	}
+	// Select the k largest magnitudes via a threshold found by sorting a
+	// copy of magnitudes. O(n log n) but n is the parameter count and this
+	// runs once per exchange, not per training step.
+	mags := make([]float64, n)
+	for i, v := range flat {
+		mags[i] = math.Abs(v)
+	}
+	sorted := append([]float64(nil), mags...)
+	sort.Float64s(sorted)
+	threshold := sorted[n-k]
+	// First pass: everything strictly above threshold.
+	s.Indices = make([]int, 0, k)
+	s.Values = make([]float64, 0, k)
+	for i, v := range flat {
+		if mags[i] > threshold {
+			s.Indices = append(s.Indices, i)
+			s.Values = append(s.Values, v)
+		}
+	}
+	// Second pass: fill remaining slots with ties at the threshold.
+	for i, v := range flat {
+		if len(s.Indices) >= k {
+			break
+		}
+		if mags[i] == threshold {
+			s.Indices = append(s.Indices, i)
+			s.Values = append(s.Values, v)
+		}
+	}
+	sortPairs(s)
+	return s
+}
+
+// Compress sparsifies flat to the level ψ (relative payload size).
+func Compress(flat []float64, psi float64) *Sparse {
+	return TopK(flat, KForPsi(len(flat), psi))
+}
+
+// Dense reconstructs the dense vector, zero-filling dropped parameters —
+// the standard biased top-k decompression.
+func (s *Sparse) Dense() []float64 {
+	out := make([]float64, s.Len)
+	for i, idx := range s.Indices {
+		out[idx] = s.Values[i]
+	}
+	return out
+}
+
+// ApplyAsUpdate reconstructs a dense vector using base for the dropped
+// coordinates: kept coordinates take the transmitted values, dropped ones
+// keep the receiver's own parameters. This is how a receiver materializes a
+// compressed peer model for evaluation and aggregation without zero-holes.
+func (s *Sparse) ApplyAsUpdate(base []float64) ([]float64, error) {
+	if len(base) != s.Len {
+		return nil, fmt.Errorf("compress: base length %d != sparse length %d", len(base), s.Len)
+	}
+	out := append([]float64(nil), base...)
+	for i, idx := range s.Indices {
+		out[idx] = s.Values[i]
+	}
+	return out, nil
+}
+
+func sortPairs(s *Sparse) {
+	type pair struct {
+		i int
+		v float64
+	}
+	ps := make([]pair, len(s.Indices))
+	for j := range s.Indices {
+		ps[j] = pair{s.Indices[j], s.Values[j]}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].i < ps[b].i })
+	for j, p := range ps {
+		s.Indices[j] = p.i
+		s.Values[j] = p.v
+	}
+}

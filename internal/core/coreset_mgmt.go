@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"lbchat/internal/coreset"
+	"lbchat/internal/dataset"
+)
+
+// EnsureCoreset returns the vehicle's current coreset, (re)building it with
+// Algorithm 1 when it is missing or stale (older than CoresetRefresh).
+// Between rebuilds the coreset is maintained by the cheap merge-and-reduce
+// path, matching §III-D's two-speed updating.
+//
+// Construction guard: layering scores every sample with the current model;
+// on large expanded datasets we layer a uniformly drawn subsample of
+// LayeringSample items and scale coreset weights so they still represent the
+// full dataset's total weight.
+func (e *Engine) EnsureCoreset(v *Vehicle) (*coreset.Coreset, error) {
+	if v.Core != nil && e.now-v.CoreBuiltAt < e.Cfg.CoresetRefresh {
+		return v.Core, nil
+	}
+	if v.Data.Len() == 0 {
+		return nil, fmt.Errorf("core: vehicle %d has no local data", v.ID)
+	}
+	size := e.Cfg.CoresetSize
+	if v.CoresetSizeOverride > 0 {
+		size = v.CoresetSizeOverride
+	}
+	base := v.Data
+	if cap := e.Cfg.LayeringSample; cap > 0 && base.Len() > cap {
+		perm := v.rng.Perm(base.Len())[:cap]
+		base = v.Data.Subset(perm)
+	}
+	losses := v.Policy.PerSampleLosses(base.Items())
+	method := e.Cfg.CoresetMethod
+	if method == 0 {
+		method = coreset.MethodLayered
+	}
+	cs, err := coreset.BuildWith(method, base, losses, size, v.rng.Derive("coreset"))
+	if err != nil {
+		return nil, fmt.Errorf("core: building coreset for vehicle %d: %w", v.ID, err)
+	}
+	// Rescale so the coreset represents the FULL dataset's weight, not just
+	// the layered subsample's.
+	if subTotal := base.TotalWeight(); subTotal > 0 {
+		scale := v.Data.TotalWeight() / subTotal
+		if scale != 1 {
+			scaled := dataset.New(cs.Len())
+			for _, it := range cs.Items() {
+				scaled.Add(it.Sample, it.Weight*scale)
+			}
+			cs = coreset.FromDataset(scaled)
+		}
+	}
+	v.Core = cs
+	v.CoreBuiltAt = e.now
+	return cs, nil
+}
+
+// AbsorbCoreset expands the vehicle's local dataset with a received peer
+// coreset (uniform original weights, §III-D) and refreshes the vehicle's own
+// coreset via merge-and-reduce so it summarizes the expanded dataset.
+func (e *Engine) AbsorbCoreset(v *Vehicle, peer *coreset.Coreset) error {
+	v.Data.Absorb(peer.Data(), v.LocalWeight)
+	if v.Core == nil {
+		return nil
+	}
+	size := e.Cfg.CoresetSize
+	if v.CoresetSizeOverride > 0 {
+		size = v.CoresetSizeOverride
+	}
+	merged, err := coreset.MergeReduce(v.Core, peer, size, v.rng.Derive("reduce"))
+	if err != nil {
+		return fmt.Errorf("core: merge-reduce for vehicle %d: %w", v.ID, err)
+	}
+	v.Core = merged
+	return nil
+}
+
+// EvalSubset returns up to cfg.EvalSubset items of a weighted set, drawn
+// uniformly without replacement with the vehicle's stream. Value assessments
+// run on this subset to bound computation per chat.
+func (e *Engine) EvalSubset(v *Vehicle, items []dataset.Weighted) []dataset.Weighted {
+	cap := e.Cfg.EvalSubset
+	if cap <= 0 || len(items) <= cap {
+		return items
+	}
+	perm := v.rng.Perm(len(items))[:cap]
+	out := make([]dataset.Weighted, cap)
+	for i, idx := range perm {
+		out[i] = items[idx]
+	}
+	return out
+}

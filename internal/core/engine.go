@@ -1,0 +1,460 @@
+// Package core implements LbChat itself (Algorithm 2) and the virtual-time
+// co-simulation engine that LbChat and every benchmark protocol run on:
+// per-vehicle local training, trace-driven mobility and encounters,
+// radio-constrained transfers, and loss-curve/receive-rate metrics.
+//
+// The engine is deliberately protocol-agnostic: a Protocol sees the fleet
+// each tick and decides who chats with whom and what crosses the air. LbChat,
+// its SCO variant and ablations (this package), and the four benchmarks
+// (internal/baselines) all plug into the same loop, which is what makes the
+// paper's "same communication ability and constraints" comparisons honest.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"lbchat/internal/compress"
+	"lbchat/internal/coreset"
+	"lbchat/internal/dataset"
+	"lbchat/internal/metrics"
+	"lbchat/internal/model"
+	"lbchat/internal/radio"
+	"lbchat/internal/sched"
+	"lbchat/internal/simrand"
+	"lbchat/internal/trace"
+)
+
+// Config parameterizes the co-simulation.
+type Config struct {
+	// Seed drives every random stream in the run.
+	Seed uint64
+	// TickSeconds is the engine step (s).
+	TickSeconds float64
+	// TrainInterval is the virtual time between local training steps (s).
+	TrainInterval float64
+	// BatchSize is the per-step training batch.
+	BatchSize int
+	// RecordInterval is the loss-curve sampling period (s).
+	RecordInterval float64
+	// TimeBudget is T_B, the per-pair exchange budget (15 s in the paper).
+	TimeBudget float64
+	// ContactHorizon caps route-based contact-duration estimation (s).
+	ContactHorizon float64
+	// CoresetSize is the coreset budget |C| (150 frames in the paper).
+	CoresetSize int
+	// CoresetMethod selects the construction algorithm (Algorithm 1 layered
+	// sampling by default; §V notes sensitivity- and clustering-based
+	// alternatives plug in unchanged).
+	CoresetMethod coreset.Method
+	// CoresetRefresh is the minimum age (s) before a vehicle rebuilds its
+	// coreset from scratch with Algorithm 1; between rebuilds the cheap
+	// merge-and-reduce path maintains it.
+	CoresetRefresh float64
+	// LayeringSample bounds how many local samples are scored to layer the
+	// dataset during coreset construction (computation guard).
+	LayeringSample int
+	// EvalSubset bounds how many coreset samples value assessments use.
+	EvalSubset int
+	// PsiSamples are the compression levels sampled when fitting φ.
+	PsiSamples []float64
+	// LambdaC is the Eq. (7) time-award coefficient (loss units per second).
+	LambdaC float64
+	// ChatCooldown is the minimum time between chats initiated by one
+	// vehicle (s); it models the duty cycle of the exchange radio.
+	ChatCooldown float64
+	// PairCooldown is the minimum re-chat interval for one vehicle pair (s).
+	PairCooldown float64
+	// BandwidthMinBps and BandwidthMaxBps bound per-vehicle available
+	// bandwidth, sampled uniformly per vehicle.
+	BandwidthMinBps, BandwidthMaxBps float64
+	// PaperModelBytes is the over-the-air size of one uncompressed model.
+	// The simulation trains compact stand-in networks, but the radio layer
+	// must see the PAPER's payload economics — a 52 MB imitation model
+	// takes ≈13.4 s at 31 Mbps, comparable to T_B, which is the whole
+	// tension LbChat's compression optimization resolves.
+	PaperModelBytes int
+	// PaperFrameBytes is the over-the-air size of one coreset frame (the
+	// paper's 150-frame coreset is ≈0.6 MB ⇒ 4 kB per frame).
+	PaperFrameBytes int
+	// CompressionScheme selects how model payloads are compressed for the
+	// air: top-k delta sparsification [22] (default) or unbiased stochastic
+	// quantization — the alternative §III-C notes can be applied unchanged.
+	CompressionScheme CompressionScheme
+	// CompressionConcentration calibrates the stand-in model's top-k
+	// degradation to a large net's. Big over-parameterized models tolerate
+	// top-k sparsification gracefully (updates concentrate in few large
+	// coordinates [20][22]); a compact dense stand-in does not. When a
+	// payload is compressed to byte-fraction ψ, the stand-in keeps
+	// ψ^CompressionConcentration of its delta coordinates, reproducing the
+	// gentle loss-vs-ψ curve the paper's 52 MB model would show. 1 disables
+	// the calibration.
+	CompressionConcentration float64
+	// LogChats prints per-chat decision traces (value assessments, fitted φ
+	// samples, Eq. (7) solutions) to standard error — a debugging aid.
+	LogChats bool
+	// Model configures the policy architecture.
+	Model model.Config
+}
+
+// DefaultConfig returns the experiment defaults (paper values where the
+// paper gives them).
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		TickSeconds:     1,
+		TrainInterval:   2,
+		BatchSize:       16,
+		RecordInterval:  60,
+		TimeBudget:      15,
+		ContactHorizon:  120,
+		CoresetSize:     150,
+		CoresetMethod:   coreset.MethodLayered,
+		CoresetRefresh:  120,
+		LayeringSample:  384,
+		EvalSubset:      64,
+		PsiSamples:      []float64{0.05, 0.2, 0.5, 1.0},
+		LambdaC:         0.0008,
+		ChatCooldown:    75,
+		PairCooldown:    150,
+		BandwidthMinBps: 20e6,
+		BandwidthMaxBps: 31e6,
+		PaperModelBytes: 52_000_000,
+		PaperFrameBytes: 4_000,
+
+		CompressionConcentration: 1.0 / 3,
+		Model:                    model.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.TickSeconds <= 0:
+		return fmt.Errorf("core: non-positive tick %g", c.TickSeconds)
+	case c.TrainInterval <= 0:
+		return fmt.Errorf("core: non-positive train interval %g", c.TrainInterval)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("core: non-positive batch size %d", c.BatchSize)
+	case c.TimeBudget <= 0:
+		return fmt.Errorf("core: non-positive time budget %g", c.TimeBudget)
+	case c.CoresetSize <= 0:
+		return fmt.Errorf("core: non-positive coreset size %d", c.CoresetSize)
+	case c.BandwidthMinBps <= 0 || c.BandwidthMaxBps < c.BandwidthMinBps:
+		return fmt.Errorf("core: invalid bandwidth range [%g, %g]", c.BandwidthMinBps, c.BandwidthMaxBps)
+	case c.PaperModelBytes <= 0 || c.PaperFrameBytes <= 0:
+		return fmt.Errorf("core: non-positive paper payload sizes (%d, %d)", c.PaperModelBytes, c.PaperFrameBytes)
+	}
+	return c.Model.Validate()
+}
+
+// Vehicle is one fleet member's live training state.
+type Vehicle struct {
+	// ID indexes the vehicle in the fleet and the mobility trace.
+	ID int
+	// Policy is the local model x_i.
+	Policy *model.Policy
+	// Data is the (expanding) local dataset D_i.
+	Data *dataset.Dataset
+	// Core is the current coreset C_i (nil until first built).
+	Core *coreset.Coreset
+	// CoreBuiltAt is when the coreset was last rebuilt via Algorithm 1.
+	CoreBuiltAt float64
+	// Bandwidth is the vehicle's available bandwidth B_i (bits/s).
+	Bandwidth float64
+	// BusyUntil blocks new chats while a pairwise exchange is in flight.
+	BusyUntil float64
+	// NextChatAt enforces the chat cooldown.
+	NextChatAt float64
+	// Recv counts model-transfer outcomes toward the §IV-C receive rate.
+	Recv metrics.ReceiveStats
+
+	// LocalWeight is the uniform original weight w(d) for absorbed samples.
+	LocalWeight float64
+	// CoresetSizeOverride, when positive, replaces Config.CoresetSize for
+	// this vehicle — the adaptive-coreset-size variant tunes it per vehicle
+	// from observed contact durations.
+	CoresetSizeOverride int
+	// ContactEMA tracks an exponential moving average of this vehicle's
+	// observed contact durations (s); 0 until the first encounter.
+	ContactEMA float64
+
+	nextTrain float64
+	lastChat  map[int]float64
+	rng       *simrand.Rand
+}
+
+// RNG returns the vehicle's private random stream.
+func (v *Vehicle) RNG() *simrand.Rand { return v.rng }
+
+// Protocol is a pluggable communication strategy evaluated on the engine.
+type Protocol interface {
+	// Name labels metrics and output rows.
+	Name() string
+	// Setup runs once before the simulation loop.
+	Setup(e *Engine) error
+	// OnTick runs every engine tick after local training and event
+	// processing; it is where encounters are detected and exchanges happen.
+	OnTick(e *Engine, now float64)
+}
+
+// Engine is the co-simulation.
+type Engine struct {
+	Cfg      Config
+	Vehicles []*Vehicle
+	Trace    *trace.Trace
+	Radio    *radio.Model
+	Probe    []dataset.Weighted
+
+	// LossCurve is the average probe loss over time.
+	LossCurve metrics.Curve
+	// Events is the deferred-effect queue (transfer completions).
+	Events sched.Queue
+
+	rng        *simrand.Rand
+	now        float64
+	nextRecord float64
+	initFlat   []float64
+}
+
+// NewEngine builds a fleet over the given mobility trace and local datasets.
+// All vehicles start from an identical model initialization (the paper's
+// assumption) but distinct random streams.
+func NewEngine(cfg Config, tr *trace.Trace, datasets []*dataset.Dataset, rm *radio.Model, probe []dataset.Weighted) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr.NumVehicles() != len(datasets) {
+		return nil, fmt.Errorf("core: trace has %d vehicles, got %d datasets", tr.NumVehicles(), len(datasets))
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	root := simrand.New(cfg.Seed)
+	e := &Engine{
+		Cfg:   cfg,
+		Trace: tr,
+		Radio: rm,
+		Probe: probe,
+		rng:   root.Derive("engine"),
+	}
+	initPolicy, err := model.New(cfg.Model, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: building reference init: %w", err)
+	}
+	e.initFlat = initPolicy.Flat()
+	for i, d := range datasets {
+		pol, err := model.New(cfg.Model, cfg.Seed) // same seed: identical init
+		if err != nil {
+			return nil, fmt.Errorf("core: building vehicle %d policy: %w", i, err)
+		}
+		vr := root.DeriveIndexed("vehicle", i)
+		e.Vehicles = append(e.Vehicles, &Vehicle{
+			ID:          i,
+			Policy:      pol,
+			Data:        d,
+			Bandwidth:   vr.Uniform(cfg.BandwidthMinBps, cfg.BandwidthMaxBps),
+			LocalWeight: 1,
+			lastChat:    make(map[int]float64),
+			rng:         vr,
+			// Stagger training so vehicles do not all step on the same tick.
+			nextTrain: vr.Uniform(0, cfg.TrainInterval),
+		})
+	}
+	return e, nil
+}
+
+// Now returns the current virtual time (s).
+func (e *Engine) Now() float64 { return e.now }
+
+// Run drives the co-simulation for duration seconds of virtual time under
+// the given protocol.
+func (e *Engine) Run(p Protocol, duration float64) error {
+	if err := p.Setup(e); err != nil {
+		return fmt.Errorf("core: protocol %s setup: %w", p.Name(), err)
+	}
+	e.LossCurve.Name = p.Name()
+	e.recordLoss() // t = 0 baseline
+	e.nextRecord = e.Cfg.RecordInterval
+	for e.now < duration {
+		e.Events.RunUntil(e.now)
+		e.trainTick()
+		p.OnTick(e, e.now)
+		if e.now >= e.nextRecord {
+			e.recordLoss()
+			e.nextRecord += e.Cfg.RecordInterval
+		}
+		e.now += e.Cfg.TickSeconds
+	}
+	e.Events.RunUntil(duration)
+	e.recordLoss()
+	return nil
+}
+
+func (e *Engine) trainTick() {
+	for _, v := range e.Vehicles {
+		for v.nextTrain <= e.now {
+			batch := v.Data.SampleBatch(e.Cfg.BatchSize, v.rng)
+			if len(batch) > 0 {
+				v.Policy.TrainStep(batch)
+			}
+			v.nextTrain += e.Cfg.TrainInterval
+		}
+	}
+}
+
+func (e *Engine) recordLoss() {
+	if len(e.Probe) == 0 {
+		return
+	}
+	var sum float64
+	for _, v := range e.Vehicles {
+		sum += v.Policy.Loss(e.Probe)
+	}
+	e.LossCurve.Add(e.now, sum/float64(len(e.Vehicles)))
+}
+
+// AvgProbeLoss returns the fleet's current mean loss on the probe set.
+func (e *Engine) AvgProbeLoss() float64 {
+	if len(e.Probe) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range e.Vehicles {
+		sum += v.Policy.Loss(e.Probe)
+	}
+	return sum / float64(len(e.Vehicles))
+}
+
+// Distance returns the current distance between two vehicles.
+func (e *Engine) Distance(a, b int) float64 {
+	return e.Trace.Distance(a, b, e.now)
+}
+
+// Contact estimates the remaining contact duration between two vehicles
+// from their shared routes.
+func (e *Engine) Contact(a, b int) float64 {
+	return e.Trace.ContactDuration(a, b, e.now, e.Radio.Params.MaxRangeMeters, e.Cfg.ContactHorizon)
+}
+
+// Neighbors returns vehicle IDs currently within radio range of v.
+func (e *Engine) Neighbors(v int) []int {
+	return e.Trace.Neighbors(v, e.now, e.Radio.Params.MaxRangeMeters)
+}
+
+// FleetReceiveStats aggregates the model-receive counters across vehicles.
+func (e *Engine) FleetReceiveStats() metrics.ReceiveStats {
+	var s metrics.ReceiveStats
+	for _, v := range e.Vehicles {
+		s.Merge(v.Recv)
+	}
+	return s
+}
+
+// SimulateTransfer plays a payload transfer from vehicle a to vehicle b
+// starting now, bounded by deadline seconds, over the live trace geometry.
+func (e *Engine) SimulateTransfer(bytes, a, b int, deadline float64) radio.TransferResult {
+	start := e.now
+	bw := math.Min(e.Vehicles[a].Bandwidth, e.Vehicles[b].Bandwidth)
+	dist := func(elapsed float64) float64 { return e.Trace.Distance(a, b, start+elapsed) }
+	return e.Radio.SimulateTransfer(bytes, dist, bw, deadline, e.rng)
+}
+
+// RNG returns the engine's own random stream (pairing decisions etc.).
+func (e *Engine) RNG() *simrand.Rand { return e.rng }
+
+// ModelWireBytes returns the over-the-air size of one uncompressed model
+// (the paper-scale S of the compression ratio φ = S/S_c).
+func (e *Engine) ModelWireBytes() int { return e.Cfg.PaperModelBytes }
+
+// CompressedModelBytes returns the over-the-air size of a model compressed
+// to level ψ.
+func (e *Engine) CompressedModelBytes(psi float64) int {
+	if psi <= 0 {
+		return 0
+	}
+	if psi > 1 {
+		psi = 1
+	}
+	return int(psi * float64(e.Cfg.PaperModelBytes))
+}
+
+// CoresetWireBytes returns the over-the-air size of a coreset: frames × the
+// paper's per-frame size.
+func (e *Engine) CoresetWireBytes(frames int) int {
+	return frames * e.Cfg.PaperFrameBytes
+}
+
+// CompressionScheme identifies a model-payload compression method.
+type CompressionScheme int
+
+// Compression schemes.
+const (
+	// SchemeTopK is top-k delta sparsification with index-value encoding
+	// (the paper's default, [22][23]).
+	SchemeTopK CompressionScheme = iota
+	// SchemeQuantize is unbiased stochastic uniform quantization of the
+	// delta, with the bit width chosen to meet the ψ byte budget.
+	SchemeQuantize
+)
+
+// CompressReconstruct compresses a model to relative payload size ψ under
+// the configured scheme and returns the receiver-side reconstruction. This
+// is what every exchange path uses: the sender evaluates exactly what the
+// receiver will materialize.
+func (e *Engine) CompressReconstruct(flat []float64, psi float64) []float64 {
+	if psi <= 0 {
+		return nil
+	}
+	if e.Cfg.CompressionScheme == SchemeQuantize {
+		delta := make([]float64, len(flat))
+		for i, v := range flat {
+			delta[i] = v - e.initFlat[i]
+		}
+		bits := int(psi*32 + 0.5)
+		if bits < 1 {
+			bits = 1
+		}
+		if bits > compress.MaxQuantBits {
+			bits = compress.MaxQuantBits
+		}
+		q, err := compress.Quantize(delta, bits, e.rng)
+		if err != nil {
+			return nil
+		}
+		out := append([]float64(nil), e.initFlat...)
+		for i, dv := range q.Dense() {
+			out[i] += dv
+		}
+		return out
+	}
+	return e.ReconstructDelta(e.CompressDelta(flat, psi))
+}
+
+// CompressDelta top-k sparsifies a model's DELTA from the fleet's shared
+// initialization at level ψ. Vehicles exchange sparsified deltas rather than
+// raw parameters: every peer holds the same initialization (§II-A), so a
+// receiver reconstructs the compressed model exactly, and dropping small
+// delta coordinates degrades the model far more gracefully than zeroing raw
+// weights [22].
+func (e *Engine) CompressDelta(flat []float64, psi float64) *compress.Sparse {
+	delta := make([]float64, len(flat))
+	for i, v := range flat {
+		delta[i] = v - e.initFlat[i]
+	}
+	keep := psi
+	if c := e.Cfg.CompressionConcentration; c > 0 && c != 1 && psi > 0 && psi < 1 {
+		keep = math.Pow(psi, c)
+	}
+	return compress.TopK(delta, int(keep*float64(len(delta))))
+}
+
+// ReconstructDelta materializes a model from a sparsified delta:
+// x̂ = x_init + sparse(Δ).
+func (e *Engine) ReconstructDelta(sp *compress.Sparse) []float64 {
+	out := append([]float64(nil), e.initFlat...)
+	for i, idx := range sp.Indices {
+		out[idx] += sp.Values[i]
+	}
+	return out
+}

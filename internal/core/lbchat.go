@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"lbchat/internal/coreset"
+	"lbchat/internal/dataset"
+	"lbchat/internal/model"
+	"lbchat/internal/optimize"
+	"lbchat/internal/radio"
+)
+
+// Variant toggles LbChat's components for the paper's ablations and the SCO
+// study. The zero value is full LbChat.
+type Variant struct {
+	// SCO shares coresets only: no model exchange or aggregation (§IV-G).
+	SCO bool
+	// EqualCompression masks the Eq. (7) optimization and splits the
+	// exchange window into equal fixed compression ratios (Table V).
+	EqualCompression bool
+	// AverageAggregation masks the Eq. (8) weights and merges with plain
+	// averaging (Table VI).
+	AverageAggregation bool
+	// LiteralEq8 uses the printed (own-loss) Eq. (8) weights instead of the
+	// corrected intent; see DESIGN.md §4.
+	LiteralEq8 bool
+	// NoDataExpansion skips absorbing peer coresets into the local dataset
+	// (extra ablation isolating the value-assessment contribution).
+	NoDataExpansion bool
+	// NoPrioritization masks the Eq. (5) route-sharing neighbor
+	// prioritization: encounters pair up at random like the gossip
+	// baselines, isolating what the priority score contributes.
+	NoPrioritization bool
+	// AdaptiveCoresetSize enables the paper's stated future-work feature:
+	// each vehicle tunes its coreset budget so the coreset exchange
+	// consumes at most a small share of its typically observed contact
+	// duration — short-contact vehicles shrink their coresets, vehicles
+	// with long encounters can afford richer ones.
+	AdaptiveCoresetSize bool
+}
+
+// Adaptive coreset sizing constants: the coreset exchange should claim at
+// most adaptiveCoresetShare of the typical contact, and the budget stays
+// within the paper's sweep range [15, 1500].
+const (
+	adaptiveCoresetShare = 0.06
+	adaptiveCoresetMin   = 15
+	adaptiveCoresetMax   = 1500
+	contactEMAAlpha      = 0.3
+)
+
+// LbChat is the paper's protocol (Algorithm 2) as an engine Protocol.
+type LbChat struct {
+	// Variant selects ablation behaviour.
+	Variant Variant
+
+	name    string
+	scratch *model.Policy // reusable buffer for evaluating received models
+}
+
+// NewLbChat returns the full protocol.
+func NewLbChat() *LbChat { return &LbChat{name: "LbChat"} }
+
+// NewLbChatVariant returns a named protocol variant.
+func NewLbChatVariant(name string, v Variant) *LbChat {
+	return &LbChat{name: name, Variant: v}
+}
+
+// NewSCO returns the share-coreset-only protocol of §IV-G.
+func NewSCO() *LbChat {
+	return &LbChat{name: "SCO", Variant: Variant{SCO: true}}
+}
+
+// Name implements Protocol.
+func (l *LbChat) Name() string { return l.name }
+
+// Setup implements Protocol.
+func (l *LbChat) Setup(e *Engine) error {
+	if len(e.Vehicles) > 0 {
+		l.scratch = e.Vehicles[0].Policy.Clone()
+	}
+	return nil
+}
+
+// OnTick implements Protocol: detect encounters, determine the exchange
+// sequence with Eq. (5), and run pairwise chats.
+func (l *LbChat) OnTick(e *Engine, now float64) {
+	score := func(a, b int) float64 {
+		va, vb := e.Vehicles[a], e.Vehicles[b]
+		return e.Radio.Score(radio.PriorityInputs{
+			ContactDuration: e.Contact(a, b),
+			Distance:        e.Distance(a, b),
+			BandwidthA:      va.Bandwidth,
+			BandwidthB:      vb.Bandwidth,
+			// Score against a typical compressed-model payload: the raw
+			// 52 MB model would zero out p_ij at any useful distance.
+			PayloadBytes: e.CompressedModelBytes(0.5),
+			TimeBudget:   e.Cfg.TimeBudget,
+		})
+	}
+	if l.Variant.NoPrioritization {
+		// Route-sharing ablation: any in-range pair is equally good.
+		rng := e.RNG()
+		score = func(a, b int) float64 { return 1 + 0.01*rng.Float64() }
+	}
+	pairs := e.CandidatePairs(score)
+	for _, p := range GreedyMatch(pairs) {
+		l.chat(e, p.A, p.B)
+	}
+}
+
+// chat runs one pairwise LbChat session between vehicles a and b
+// (Algorithm 2, lines 8–16). Decisions are computed now; model merges and
+// dataset expansion take effect when their transfers complete.
+func (l *LbChat) chat(e *Engine, a, b int) {
+	va, vb := e.Vehicles[a], e.Vehicles[b]
+	contact := e.Contact(a, b)
+	window := math.Min(e.Cfg.TimeBudget, contact)
+	if window <= 0 {
+		return
+	}
+	if l.Variant.AdaptiveCoresetSize {
+		l.adaptCoresetSize(e, va, contact)
+		l.adaptCoresetSize(e, vb, contact)
+	}
+
+	// Line 8: construct (or refresh) both coresets.
+	ca, err := e.EnsureCoreset(va)
+	if err != nil {
+		return
+	}
+	cb, err := e.EnsureCoreset(vb)
+	if err != nil {
+		return
+	}
+
+	// Line 9: exchange coresets (half-duplex, sequential).
+	elapsed := 0.0
+	resAB := e.SimulateTransfer(e.CoresetWireBytes(ca.Len()), a, b, window)
+	elapsed += resAB.Elapsed
+	var resBA radio.TransferResult
+	if resAB.Completed {
+		resBA = e.SimulateTransfer(e.CoresetWireBytes(cb.Len()), b, a, window-elapsed)
+		elapsed += resBA.Elapsed
+	}
+	if !resAB.Completed || !resBA.Completed {
+		// Coreset exchange failed: the pair decouples, time was spent.
+		e.MarkChatted(a, b, e.Now()+elapsed)
+		return
+	}
+
+	if l.Variant.SCO {
+		doneAt := e.Now() + elapsed
+		e.Events.Schedule(doneAt, func() {
+			_ = e.AbsorbCoreset(va, cb)
+			_ = e.AbsorbCoreset(vb, ca)
+		})
+		e.MarkChatted(a, b, doneAt)
+		return
+	}
+
+	// Lines 10–12: evaluate both models on both coresets; fit φ curves from
+	// sampled compressed-model losses. The evaluation results and φ samples
+	// are exchanged; their wire size is negligible next to the coresets.
+	evalA := e.EvalSubset(va, ca.Items())
+	evalB := e.EvalSubset(vb, cb.Items())
+	lossAonB := va.Policy.Loss(evalB)
+	lossBonA := vb.Policy.Loss(evalA)
+
+	remaining := window - elapsed
+	modelBytes := e.ModelWireBytes()
+	minBW := math.Min(va.Bandwidth, vb.Bandwidth)
+
+	var psiA, psiB float64
+	if l.Variant.EqualCompression {
+		// Ablation: fixed equal ratios sized so both directions fill the
+		// remaining window.
+		psi := remaining * minBW / 8 / float64(2*modelBytes)
+		psiA = math.Min(1, psi)
+		psiB = psiA
+	} else {
+		// Line 13: optimize compression ratios with Eq. (7).
+		phiA := l.fitPhi(e, va, evalA)
+		phiB := l.fitPhi(e, vb, evalB)
+		sol := optimize.Solve(optimize.Problem{
+			PhiSelf:         phiA,
+			PhiPeer:         phiB,
+			LossSelfOnPeer:  lossAonB,
+			LossPeerOnSelf:  lossBonA,
+			ModelBytes:      modelBytes,
+			MinBandwidthBps: minBW,
+			TimeBudget:      remaining,
+			ContactTime:     contact - elapsed,
+			LambdaC:         e.Cfg.LambdaC,
+		})
+		psiA, psiB = sol.PsiSelf, sol.PsiPeer
+		if e.Cfg.LogChats {
+			phiDump := func(c *optimize.PhiCurve) string {
+				if c == nil {
+					return "nil"
+				}
+				return fmt.Sprintf("φ(.2)=%.4f φ(.5)=%.4f φ(.9)=%.4f φ(1)=%.4f",
+					c.Predict(0.2), c.Predict(0.5), c.Predict(0.9), c.Predict(1))
+			}
+			log.Printf("chat %d<->%d t=%.0f contact=%.1f win=%.1f lossAonB=%.4f lossBonA=%.4f | A:%s | B:%s | ψA=%.2f ψB=%.2f obj=%.5f",
+				a, b, e.Now(), contact, remaining, lossAonB, lossBonA, phiDump(phiA), phiDump(phiB), psiA, psiB, sol.Objective)
+		}
+	}
+
+	// Line 14: exchange compressed models (A's model travels to B first).
+	sentA, okA, tA := l.sendModel(e, va, vb, psiA, remaining)
+	elapsed += tA
+	remaining -= tA
+	sentB, okB, tB := l.sendModel(e, vb, va, psiB, remaining)
+	elapsed += tB
+
+	doneAt := e.Now() + elapsed
+
+	// Lines 15–16 take effect when the payloads land. Peer coresets are
+	// absorbed regardless of the model transfers' fate — they already made
+	// it across during line 9.
+	schedule := func(recv *Vehicle, sent []float64, ok bool, senderCore *coreset.Coreset) {
+		var peerFlat []float64
+		if ok && sent != nil {
+			peerFlat = sent
+		}
+		e.Events.Schedule(doneAt, func() {
+			if peerFlat != nil {
+				l.mergeInto(e, recv, peerFlat, senderCore)
+			}
+			if !l.Variant.NoDataExpansion {
+				_ = e.AbsorbCoreset(recv, senderCore)
+			}
+		})
+	}
+	schedule(vb, sentA, okA, ca)
+	schedule(va, sentB, okB, cb)
+	e.MarkChatted(a, b, doneAt)
+}
+
+// adaptCoresetSize updates the vehicle's contact-duration estimate and
+// retunes its coreset budget so the coreset exchange stays a small share of
+// a typical encounter.
+func (l *LbChat) adaptCoresetSize(e *Engine, v *Vehicle, contact float64) {
+	if v.ContactEMA == 0 {
+		v.ContactEMA = contact
+	} else {
+		v.ContactEMA = (1-contactEMAAlpha)*v.ContactEMA + contactEMAAlpha*contact
+	}
+	budgetBytes := adaptiveCoresetShare * v.ContactEMA * v.Bandwidth / 8
+	size := int(budgetBytes / float64(e.Cfg.PaperFrameBytes))
+	if size < adaptiveCoresetMin {
+		size = adaptiveCoresetMin
+	}
+	if size > adaptiveCoresetMax {
+		size = adaptiveCoresetMax
+	}
+	v.CoresetSizeOverride = size
+}
+
+// fitPhi samples the vehicle's own model at the configured ψ levels,
+// evaluates each compressed variant on the vehicle's coreset subset, and
+// fits the Akima φ curve (§III-C).
+func (l *LbChat) fitPhi(e *Engine, v *Vehicle, evalItems []dataset.Weighted) *optimize.PhiCurve {
+	flat := v.Policy.Flat()
+	samples := e.Cfg.PsiSamples
+	psis := make([]float64, 0, len(samples))
+	losses := make([]float64, 0, len(samples))
+	for _, psi := range samples {
+		var loss float64
+		if psi >= 1 {
+			loss = v.Policy.Loss(evalItems)
+		} else {
+			sp := e.CompressDelta(flat, psi)
+			if err := l.scratch.SetFlat(e.ReconstructDelta(sp)); err != nil {
+				continue
+			}
+			loss = l.scratch.Loss(evalItems)
+		}
+		psis = append(psis, psi)
+		losses = append(losses, loss)
+	}
+	curve, err := optimize.FitPhi(psis, losses)
+	if err != nil {
+		return nil
+	}
+	return curve
+}
+
+// sendModel compresses the sender's model at ψ and simulates its transfer,
+// returning the receiver-side reconstruction. ψ = 0 means "do not send" (no
+// attempt is counted). The receiver's receive-rate counter records the
+// outcome.
+func (l *LbChat) sendModel(e *Engine, from, to *Vehicle, psi, deadline float64) ([]float64, bool, float64) {
+	if psi <= 0 {
+		return nil, false, 0
+	}
+	rec := e.CompressReconstruct(from.Policy.Flat(), psi)
+	res := e.SimulateTransfer(e.CompressedModelBytes(psi), from.ID, to.ID, deadline)
+	to.Recv.Record(res.Completed)
+	return rec, res.Completed, res.Elapsed
+}
+
+// mergeInto aggregates a received peer model into the vehicle's policy with
+// the Eq. (8) weights computed on the joint coreset (fast path of §III-D).
+func (l *LbChat) mergeInto(e *Engine, v *Vehicle, peerFlat []float64, senderCore *coreset.Coreset) {
+	var wSelf, wPeer float64
+	if l.Variant.AverageAggregation {
+		wSelf, wPeer = 0.5, 0.5
+	} else {
+		joint := JointEvalSet(e, v, senderCore.Items())
+		lossSelf := v.Policy.Loss(joint)
+		if err := l.scratch.SetFlat(peerFlat); err != nil {
+			return
+		}
+		lossPeer := l.scratch.Loss(joint)
+		wSelf, wPeer = AggregationWeights(lossSelf, lossPeer, l.Variant.LiteralEq8)
+	}
+	// Length mismatches are impossible (identical architectures); ignore
+	// the error to keep the event handler simple.
+	_ = MergeModels(v, peerFlat, wSelf, wPeer)
+}

@@ -1,0 +1,79 @@
+package core
+
+import "sort"
+
+// CandidatePair is a potential pairwise exchange with its Eq. (5) score.
+type CandidatePair struct {
+	A, B  int
+	Score float64
+}
+
+// CandidatePairs enumerates vehicle pairs that are currently able to chat:
+// both free (not mid-exchange, past their chat cooldown), within radio
+// range, and past the per-pair cooldown. score computes the pair's priority;
+// pairs scoring zero or less are dropped.
+func (e *Engine) CandidatePairs(score func(a, b int) float64) []CandidatePair {
+	now := e.now
+	free := make([]int, 0, len(e.Vehicles))
+	for _, v := range e.Vehicles {
+		if v.BusyUntil <= now && v.NextChatAt <= now {
+			free = append(free, v.ID)
+		}
+	}
+	var out []CandidatePair
+	for ai := 0; ai < len(free); ai++ {
+		for bi := ai + 1; bi < len(free); bi++ {
+			a, b := free[ai], free[bi]
+			if e.Distance(a, b) > e.Radio.Params.MaxRangeMeters {
+				continue
+			}
+			if last, ok := e.Vehicles[a].lastChat[b]; ok && now-last < e.Cfg.PairCooldown {
+				continue
+			}
+			if s := score(a, b); s > 0 {
+				out = append(out, CandidatePair{A: a, B: b, Score: s})
+			}
+		}
+	}
+	return out
+}
+
+// GreedyMatch selects a maximal set of disjoint pairs in descending score
+// order — each vehicle chats with at most one peer at a time, and every
+// vehicle prefers its highest-scoring available neighbor, which realizes the
+// Eq. (5) exchange-sequence determination across the fleet. Ties break by
+// (A, B) for determinism.
+func GreedyMatch(pairs []CandidatePair) []CandidatePair {
+	sorted := append([]CandidatePair(nil), pairs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Score != sorted[j].Score {
+			return sorted[i].Score > sorted[j].Score
+		}
+		if sorted[i].A != sorted[j].A {
+			return sorted[i].A < sorted[j].A
+		}
+		return sorted[i].B < sorted[j].B
+	})
+	taken := make(map[int]bool, len(sorted)*2)
+	var out []CandidatePair
+	for _, p := range sorted {
+		if taken[p.A] || taken[p.B] {
+			continue
+		}
+		taken[p.A] = true
+		taken[p.B] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// MarkChatted stamps the pair's cooldown bookkeeping.
+func (e *Engine) MarkChatted(a, b int, busyUntil float64) {
+	va, vb := e.Vehicles[a], e.Vehicles[b]
+	va.BusyUntil = busyUntil
+	vb.BusyUntil = busyUntil
+	va.NextChatAt = busyUntil + e.Cfg.ChatCooldown
+	vb.NextChatAt = busyUntil + e.Cfg.ChatCooldown
+	va.lastChat[b] = e.now
+	vb.lastChat[a] = e.now
+}

@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"testing"
+
+	"lbchat/internal/bev"
+	"lbchat/internal/core"
+	"lbchat/internal/radio"
+	"lbchat/internal/simrand"
+	"lbchat/internal/trace"
+	"lbchat/internal/world"
+)
+
+// TestSmokeLbChatRun exercises the full pipeline end to end at a tiny
+// scale: map → data collection → trace → engine → LbChat run, checking that
+// training reduces the probe loss and that chats actually happen.
+func TestSmokeLbChatRun(t *testing.T) {
+	m, err := world.NewMap(world.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	rng := simrand.New(7)
+	w, err := world.New(m, world.SpawnConfig{Experts: 4, BackgroundCars: 8, Pedestrians: 20}, rng)
+	if err != nil {
+		t.Fatalf("world.New: %v", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.CoresetSize = 40
+	cfg.LayeringSample = 128
+	ras := bev.NewRasterizer(bev.DefaultConfig(), m)
+	datasets := world.CollectDataset(w, ras, cfg.Model.NumWaypoints, 300, 0.5)
+	for i, d := range datasets {
+		if d.Len() != 300 {
+			t.Fatalf("dataset %d has %d samples, want 300", i, d.Len())
+		}
+	}
+	tr := trace.Record(w, 1200, 0.5) // 600 s of mobility
+	probe := datasets[0].Items()[:64]
+
+	eng, err := core.NewEngine(cfg, tr, datasets, radio.NewModel(false), probe)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	proto := core.NewLbChat()
+	if err := eng.Run(proto, 500); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	curve := eng.LossCurve
+	if len(curve.Points) < 3 {
+		t.Fatalf("loss curve has %d points", len(curve.Points))
+	}
+	first, last := curve.Points[0].Value, curve.Final()
+	t.Logf("loss: %.4f -> %.4f over %d points", first, last, len(curve.Points))
+	if last >= first {
+		t.Errorf("training did not reduce probe loss: %.4f -> %.4f", first, last)
+	}
+	stats := eng.FleetReceiveStats()
+	t.Logf("model transfers: %d attempts, %d successes", stats.Attempts, stats.Successes)
+	if stats.Attempts == 0 {
+		t.Error("no model transfers were attempted; chats never happened")
+	}
+}

@@ -1,0 +1,294 @@
+package coreset
+
+import (
+	"fmt"
+	"math"
+
+	"lbchat/internal/dataset"
+	"lbchat/internal/simrand"
+)
+
+// Alternative coreset constructions (§V "Alternative coreset construction
+// approaches"): the paper's framework only requires that model values be
+// comparable on shared sample sets, so other constructions plug in directly.
+// This file provides the two families the paper cites — sensitivity-based
+// importance sampling (after Langberg–Schulman [16]) and clustering-based
+// selection (after Lu et al. [31]) — plus plain uniform sampling as the
+// natural floor. The ablation benchmark compares all of them against
+// Algorithm 1's layered sampling.
+
+// Method selects a coreset construction algorithm.
+type Method int
+
+// Construction methods.
+const (
+	// MethodLayered is Algorithm 1: partition by loss rings, sample within
+	// each ring (the paper's default).
+	MethodLayered Method = iota + 1
+	// MethodSensitivity importance-samples proportionally to each sample's
+	// share of the total loss (its empirical sensitivity), with inverse-
+	// probability coreset weights.
+	MethodSensitivity
+	// MethodClustering k-means-clusters the per-sample losses and picks
+	// representatives per cluster, weighting each by its cluster's mass.
+	MethodClustering
+	// MethodUniform samples uniformly with population-preserving weights.
+	MethodUniform
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case MethodLayered:
+		return "layered"
+	case MethodSensitivity:
+		return "sensitivity"
+	case MethodClustering:
+		return "clustering"
+	case MethodUniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// BuildWith constructs a coreset of the given size with the chosen method.
+// losses[i] must be the current model's loss on sample i, as in Build.
+func BuildWith(method Method, d *dataset.Dataset, losses []float64, size int, rng *simrand.Rand) (*Coreset, error) {
+	switch method {
+	case MethodLayered:
+		return Build(d, losses, size, rng)
+	case MethodSensitivity:
+		return buildSensitivity(d, losses, size, rng)
+	case MethodClustering:
+		return buildClustering(d, losses, size, rng)
+	case MethodUniform:
+		return buildUniform(d, size, rng)
+	default:
+		return nil, fmt.Errorf("coreset: unknown method %v", method)
+	}
+}
+
+// buildSensitivity importance-samples by empirical sensitivity: sample i is
+// drawn proportionally to w(d_i)·f(x;d_i) (its share of the weighted loss)
+// and carries weight w(d_i)/(m·p_i), the standard unbiased importance
+// estimator. A small uniform floor keeps zero-loss samples representable.
+func buildSensitivity(d *dataset.Dataset, losses []float64, size int, rng *simrand.Rand) (*Coreset, error) {
+	n := d.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("coreset: empty dataset")
+	}
+	if len(losses) != n {
+		return nil, fmt.Errorf("coreset: %d losses for %d samples", len(losses), n)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("coreset: non-positive size %d", size)
+	}
+	if size >= n {
+		return identityCoreset(d), nil
+	}
+	// Sampling distribution: sensitivity share with a uniform floor.
+	probs := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		probs[i] = d.At(i).Weight * math.Max(losses[i], 0)
+		total += probs[i]
+	}
+	const floor = 0.2 // 20% uniform mixture
+	for i := range probs {
+		uniform := 1.0 / float64(n)
+		share := uniform
+		if total > 0 {
+			share = probs[i] / total
+		}
+		probs[i] = (1-floor)*share + floor*uniform
+	}
+	out := dataset.New(size)
+	for k := 0; k < size; k++ {
+		idx := rng.WeightedIndex(probs)
+		if idx < 0 {
+			idx = rng.Intn(n)
+		}
+		it := d.At(idx)
+		out.Add(it.Sample, it.Weight/(float64(size)*probs[idx]))
+	}
+	// Normalize so the total weight matches the dataset exactly (the
+	// estimator is unbiased but any single draw is noisy).
+	if tw := out.TotalWeight(); tw > 0 {
+		scale := d.TotalWeight() / tw
+		for i := 0; i < out.Len(); i++ {
+			out.SetWeight(i, out.At(i).Weight*scale)
+		}
+	}
+	return &Coreset{data: out}, nil
+}
+
+// buildClustering 1-D k-means-clusters the per-sample losses into
+// min(size, 8) clusters, then draws each cluster's share of the budget from
+// within it, weighting representatives to preserve the cluster's weight
+// mass — the robust-coreset recipe of [31] specialized to the loss
+// statistic the LbChat framework compares models on.
+func buildClustering(d *dataset.Dataset, losses []float64, size int, rng *simrand.Rand) (*Coreset, error) {
+	n := d.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("coreset: empty dataset")
+	}
+	if len(losses) != n {
+		return nil, fmt.Errorf("coreset: %d losses for %d samples", len(losses), n)
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("coreset: non-positive size %d", size)
+	}
+	if size >= n {
+		return identityCoreset(d), nil
+	}
+	k := size
+	if k > 8 {
+		k = 8
+	}
+	centers := kmeans1D(losses, k, rng)
+	// Assign samples to nearest center.
+	clusters := make([][]int, len(centers))
+	clusterWeight := make([]float64, len(centers))
+	for i, l := range losses {
+		best, bestD := 0, math.Inf(1)
+		for c, ctr := range centers {
+			if dd := math.Abs(l - ctr); dd < bestD {
+				best, bestD = c, dd
+			}
+		}
+		clusters[best] = append(clusters[best], i)
+		clusterWeight[best] += d.At(i).Weight
+	}
+	var totalWeight float64
+	for _, w := range clusterWeight {
+		totalWeight += w
+	}
+	alloc := allocateBudget(clusters, clusterWeight, totalWeight, size)
+	out := dataset.New(size)
+	for c, members := range clusters {
+		if len(members) == 0 || alloc[c] == 0 {
+			continue
+		}
+		weights := make([]float64, len(members))
+		for i, idx := range members {
+			weights[i] = d.At(idx).Weight
+		}
+		picked := rng.WeightedSampleWithoutReplacement(weights, alloc[c])
+		var sel float64
+		for _, pi := range picked {
+			sel += weights[pi]
+		}
+		if sel <= 0 {
+			continue
+		}
+		scale := clusterWeight[c] / sel
+		for _, pi := range picked {
+			it := d.At(members[pi])
+			out.Add(it.Sample, it.Weight*scale)
+		}
+	}
+	return &Coreset{data: out}, nil
+}
+
+// buildUniform samples uniformly without replacement, scaling weights to
+// preserve the dataset's total weight — the floor every smarter method must
+// beat.
+func buildUniform(d *dataset.Dataset, size int, rng *simrand.Rand) (*Coreset, error) {
+	n := d.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("coreset: empty dataset")
+	}
+	if size <= 0 {
+		return nil, fmt.Errorf("coreset: non-positive size %d", size)
+	}
+	if size >= n {
+		return identityCoreset(d), nil
+	}
+	perm := rng.Perm(n)[:size]
+	out := dataset.New(size)
+	var sel float64
+	for _, i := range perm {
+		sel += d.At(i).Weight
+	}
+	scale := 1.0
+	if sel > 0 {
+		scale = d.TotalWeight() / sel
+	}
+	for _, i := range perm {
+		it := d.At(i)
+		out.Add(it.Sample, it.Weight*scale)
+	}
+	return &Coreset{data: out}, nil
+}
+
+func identityCoreset(d *dataset.Dataset) *Coreset {
+	out := dataset.New(d.Len())
+	for _, it := range d.Items() {
+		out.Add(it.Sample, it.Weight)
+	}
+	return &Coreset{data: out}
+}
+
+// kmeans1D runs Lloyd's algorithm on scalar values with k-means++ style
+// seeding, returning the final centers (possibly fewer than k if values
+// collapse).
+func kmeans1D(values []float64, k int, rng *simrand.Rand) []float64 {
+	if k < 1 {
+		k = 1
+	}
+	// Seed: first center uniform, then proportional to squared distance.
+	centers := []float64{values[rng.Intn(len(values))]}
+	for len(centers) < k {
+		d2 := make([]float64, len(values))
+		var total float64
+		for i, v := range values {
+			best := math.Inf(1)
+			for _, c := range centers {
+				if dd := (v - c) * (v - c); dd < best {
+					best = dd
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			break // all values on existing centers
+		}
+		idx := rng.WeightedIndex(d2)
+		if idx < 0 {
+			break
+		}
+		centers = append(centers, values[idx])
+	}
+	// Lloyd iterations.
+	for iter := 0; iter < 20; iter++ {
+		sums := make([]float64, len(centers))
+		counts := make([]int, len(centers))
+		for _, v := range values {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if dd := math.Abs(v - ctr); dd < bestD {
+					best, bestD = c, dd
+				}
+			}
+			sums[best] += v
+			counts[best]++
+		}
+		moved := false
+		for c := range centers {
+			if counts[c] == 0 {
+				continue
+			}
+			next := sums[c] / float64(counts[c])
+			if math.Abs(next-centers[c]) > 1e-12 {
+				centers[c] = next
+				moved = true
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+	return centers
+}

@@ -1,0 +1,120 @@
+package coreset
+
+import (
+	"math"
+	"testing"
+
+	"lbchat/internal/simrand"
+)
+
+func TestMethodStrings(t *testing.T) {
+	for _, m := range []Method{MethodLayered, MethodSensitivity, MethodClustering, MethodUniform} {
+		if m.String() == "" || m.String()[0] == 'M' {
+			t.Errorf("method %d has bad name %q", m, m.String())
+		}
+	}
+}
+
+func TestBuildWithAllMethods(t *testing.T) {
+	d, losses := syntheticDataset(300, unitWeights)
+	for _, m := range []Method{MethodLayered, MethodSensitivity, MethodClustering, MethodUniform} {
+		cs, err := BuildWith(m, d, losses, 40, simrand.New(uint64(m)))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if cs.Len() == 0 || cs.Len() > 40 {
+			t.Errorf("%v: size %d", m, cs.Len())
+		}
+		if math.Abs(cs.TotalWeight()-d.TotalWeight()) > 0.05*d.TotalWeight() {
+			t.Errorf("%v: total weight %v, want ≈%v", m, cs.TotalWeight(), d.TotalWeight())
+		}
+		for _, it := range cs.Items() {
+			if it.Weight <= 0 || math.IsNaN(it.Weight) || math.IsInf(it.Weight, 0) {
+				t.Fatalf("%v: bad weight %v", m, it.Weight)
+			}
+		}
+	}
+	if _, err := BuildWith(Method(99), d, losses, 40, simrand.New(1)); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestBuildWithDegenerate(t *testing.T) {
+	d, losses := syntheticDataset(10, unitWeights)
+	for _, m := range []Method{MethodSensitivity, MethodClustering, MethodUniform} {
+		// Oversized budget returns the identity coreset.
+		cs, err := BuildWith(m, d, losses, 99, simrand.New(1))
+		if err != nil || cs.Len() != 10 {
+			t.Errorf("%v oversized: %v len %d", m, err, cs.Len())
+		}
+		if _, err := BuildWith(m, d, losses, 0, simrand.New(1)); err == nil {
+			t.Errorf("%v accepted zero size", m)
+		}
+	}
+	// Zero losses must not break sensitivity sampling.
+	flat := make([]float64, 10)
+	cs, err := BuildWith(MethodSensitivity, d, flat, 4, simrand.New(2))
+	if err != nil || cs.Len() != 4 {
+		t.Errorf("zero-loss sensitivity: %v len %d", err, cs.Len())
+	}
+}
+
+func TestAllMethodsApproximateLoss(t *testing.T) {
+	// Every construction must estimate the weighted loss within a loose
+	// bound on a skewed dataset; the informed methods should do well.
+	n := 600
+	d, _ := syntheticDataset(n, unitWeights)
+	losses := make([]float64, n)
+	rng := simrand.New(5)
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		losses[i] = v * v * 5
+		d.SetWeight(i, 1)
+		// Make loss and target agree so weightedLoss is the estimand.
+		it := d.At(i)
+		it.Sample.Targets[0] = losses[i]
+	}
+	full := weightedLoss(d.Items())
+	for _, m := range []Method{MethodLayered, MethodSensitivity, MethodClustering, MethodUniform} {
+		var errAcc float64
+		const trials = 10
+		for trial := 0; trial < trials; trial++ {
+			cs, err := BuildWith(m, d, losses, 60, simrand.New(uint64(trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			errAcc += math.Abs(weightedLoss(cs.Items())-full) / full
+		}
+		mean := errAcc / trials
+		t.Logf("%v: mean relative error %.4f", m, mean)
+		if mean > 0.5 {
+			t.Errorf("%v approximation too loose: %v", m, mean)
+		}
+	}
+}
+
+func TestKmeans1D(t *testing.T) {
+	rng := simrand.New(7)
+	values := []float64{0, 0.1, 0.05, 10, 10.2, 9.9, 20, 20.5}
+	centers := kmeans1D(values, 3, rng)
+	if len(centers) != 3 {
+		t.Fatalf("centers = %v", centers)
+	}
+	// Each true cluster mean must be near one center.
+	for _, want := range []float64{0.05, 10.03, 20.25} {
+		best := math.Inf(1)
+		for _, c := range centers {
+			if d := math.Abs(c - want); d < best {
+				best = d
+			}
+		}
+		if best > 1 {
+			t.Errorf("no center near %v: %v", want, centers)
+		}
+	}
+	// Degenerate: identical values collapse.
+	same := kmeans1D([]float64{3, 3, 3}, 2, rng)
+	if len(same) == 0 || same[0] != 3 {
+		t.Errorf("degenerate kmeans = %v", same)
+	}
+}

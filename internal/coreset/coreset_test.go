@@ -1,0 +1,287 @@
+package coreset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lbchat/internal/dataset"
+	"lbchat/internal/simrand"
+)
+
+// syntheticDataset builds n single-feature samples whose "loss" under the
+// synthetic model is simply a function of the stored speed value, letting
+// tests control the loss landscape exactly.
+func syntheticDataset(n int, weightOf func(i int) float64) (*dataset.Dataset, []float64) {
+	d := dataset.New(n)
+	losses := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := dataset.Sample{
+			BEV:     []uint8{uint8(i % 2)},
+			Command: dataset.CmdFollow,
+			Speed:   float64(i) / float64(n),
+			Targets: []float64{float64(i)},
+		}
+		d.Add(s, weightOf(i))
+		losses[i] = 0.01 + 0.001*float64(i) // strictly increasing losses
+	}
+	return d, losses
+}
+
+func unitWeights(int) float64 { return 1 }
+
+// weightedLoss is the f(x; ξ) of Eq. (4) for the synthetic task: the
+// weighted mean of each sample's first target value.
+func weightedLoss(items []dataset.Weighted) float64 {
+	var acc, w float64
+	for _, it := range items {
+		acc += it.Weight * it.Sample.Targets[0]
+		w += it.Weight
+	}
+	if w == 0 {
+		return 0
+	}
+	return acc / w
+}
+
+func TestComputeLayeringBasics(t *testing.T) {
+	d, losses := syntheticDataset(100, unitWeights)
+	lay, err := ComputeLayering(d, losses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.CenterLoss != losses[0] {
+		t.Errorf("center = %v, want %v", lay.CenterLoss, losses[0])
+	}
+	if lay.NumLayers < 2 {
+		t.Errorf("expected multiple layers, got %d", lay.NumLayers)
+	}
+	maxLayer := int(math.Log2(101)) + 1
+	for i, l := range lay.Assignment {
+		if l < 0 || l > maxLayer {
+			t.Fatalf("sample %d assigned to layer %d", i, l)
+		}
+	}
+	// Larger losses land in equal-or-outer layers.
+	for i := 1; i < len(lay.Assignment); i++ {
+		if lay.Assignment[i] < lay.Assignment[i-1] {
+			t.Fatalf("layer order violated at %d: %d < %d", i, lay.Assignment[i], lay.Assignment[i-1])
+		}
+	}
+}
+
+func TestComputeLayeringErrors(t *testing.T) {
+	d, losses := syntheticDataset(5, unitWeights)
+	if _, err := ComputeLayering(dataset.New(0), nil); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	if _, err := ComputeLayering(d, losses[:3]); err == nil {
+		t.Error("loss/sample count mismatch accepted")
+	}
+}
+
+func TestBuildSizeAndWeights(t *testing.T) {
+	d, losses := syntheticDataset(200, unitWeights)
+	rng := simrand.New(1)
+	cs, err := Build(d, losses, 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Len() != 30 {
+		t.Errorf("coreset size = %d, want 30", cs.Len())
+	}
+	// Total coreset weight preserves the dataset's total weight exactly
+	// (each layer preserves its share).
+	if math.Abs(cs.TotalWeight()-d.TotalWeight()) > 1e-6 {
+		t.Errorf("total weight %v, want %v", cs.TotalWeight(), d.TotalWeight())
+	}
+	for _, it := range cs.Items() {
+		if it.Weight <= 0 {
+			t.Fatalf("non-positive coreset weight %v", it.Weight)
+		}
+	}
+}
+
+func TestBuildDegenerateCases(t *testing.T) {
+	d, losses := syntheticDataset(10, unitWeights)
+	rng := simrand.New(2)
+	// Budget ≥ dataset: identity coreset.
+	cs, err := Build(d, losses, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Len() != 10 {
+		t.Errorf("oversized budget should return whole dataset, got %d", cs.Len())
+	}
+	if _, err := Build(d, losses, 0, rng); err == nil {
+		t.Error("zero budget accepted")
+	}
+	// All-equal losses: single layer, still works.
+	flat := make([]float64, 10)
+	cs, err = Build(d, flat, 4, rng)
+	if err != nil || cs.Len() != 4 {
+		t.Errorf("flat-loss build: %v, len %d", err, cs.Len())
+	}
+}
+
+func TestBuildApproximatesWeightedLoss(t *testing.T) {
+	// The coreset's weighted loss estimate must be close to the full
+	// dataset's — the ε-coreset property realized on the synthetic task —
+	// and much closer than a size-matched UNIFORM random subset with naive
+	// weights on a skewed dataset.
+	n := 500
+	d := dataset.New(n)
+	losses := make([]float64, n)
+	rng := simrand.New(3)
+	for i := 0; i < n; i++ {
+		v := rng.Float64()
+		v = v * v * v * 10 // heavy right skew
+		d.Add(dataset.Sample{
+			BEV:     []uint8{1},
+			Command: dataset.CmdFollow,
+			Targets: []float64{v},
+		}, 1)
+		losses[i] = v // loss proportional to value: outliers land in outer layers
+	}
+	full := weightedLoss(d.Items())
+
+	var coresetErr, uniformErr float64
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		tr := simrand.New(uint64(100 + trial))
+		cs, err := Build(d, losses, 40, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coresetErr += math.Abs(weightedLoss(cs.Items()) - full)
+
+		perm := tr.Perm(n)[:40]
+		uniformErr += math.Abs(weightedLoss(d.Subset(perm).Items()) - full)
+	}
+	t.Logf("mean |err|: layered coreset %.4f vs uniform subset %.4f (full %.4f)",
+		coresetErr/trials, uniformErr/trials, full)
+	if coresetErr >= uniformErr {
+		t.Errorf("layered sampling (%.4f) no better than uniform (%.4f)", coresetErr/trials, uniformErr/trials)
+	}
+}
+
+func TestBuildRespectsSampleWeights(t *testing.T) {
+	// A sample with overwhelming weight must almost always be selected.
+	n := 50
+	d, losses := syntheticDataset(n, func(i int) float64 {
+		if i == 7 {
+			return 1e6
+		}
+		return 1
+	})
+	picked := 0
+	for trial := 0; trial < 20; trial++ {
+		cs, err := Build(d, losses, 5, simrand.New(uint64(trial)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, it := range cs.Items() {
+			if it.Sample.Targets[0] == 7 {
+				picked++
+				break
+			}
+		}
+	}
+	if picked < 15 {
+		t.Errorf("heavy sample picked only %d/20 times", picked)
+	}
+}
+
+func TestMergePreservesWeights(t *testing.T) {
+	d1, l1 := syntheticDataset(40, unitWeights)
+	d2, l2 := syntheticDataset(60, unitWeights)
+	rng := simrand.New(5)
+	c1, _ := Build(d1, l1, 10, rng)
+	c2, _ := Build(d2, l2, 15, rng)
+	merged := Merge(c1, c2)
+	if merged.Len() != 25 {
+		t.Errorf("merged length = %d", merged.Len())
+	}
+	want := c1.TotalWeight() + c2.TotalWeight()
+	if math.Abs(merged.TotalWeight()-want) > 1e-9 {
+		t.Errorf("merged weight %v, want %v", merged.TotalWeight(), want)
+	}
+}
+
+func TestReducePreservesTotalWeight(t *testing.T) {
+	d, losses := syntheticDataset(100, unitWeights)
+	rng := simrand.New(6)
+	cs, _ := Build(d, losses, 60, rng)
+	red, err := Reduce(cs, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Len() != 20 {
+		t.Errorf("reduced length = %d", red.Len())
+	}
+	if math.Abs(red.TotalWeight()-cs.TotalWeight()) > 1e-6 {
+		t.Errorf("reduce changed total weight: %v vs %v", red.TotalWeight(), cs.TotalWeight())
+	}
+	// Reduce is a no-op when already small enough.
+	same, err := Reduce(red, 50, rng)
+	if err != nil || same != red {
+		t.Error("reduce below size should return the coreset unchanged")
+	}
+	if _, err := Reduce(red, 0, rng); err == nil {
+		t.Error("zero reduce size accepted")
+	}
+}
+
+func TestMergeReduceKeepsEstimate(t *testing.T) {
+	d1, l1 := syntheticDataset(300, unitWeights)
+	d2, l2 := syntheticDataset(300, unitWeights)
+	rng := simrand.New(7)
+	c1, _ := Build(d1, l1, 50, rng)
+	c2, _ := Build(d2, l2, 50, rng)
+	mr, err := MergeReduce(c1, c2, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Len() != 50 {
+		t.Errorf("merge-reduce size = %d", mr.Len())
+	}
+	union := Merge(c1, c2)
+	if math.Abs(weightedLoss(mr.Items())-weightedLoss(union.Items())) > 0.2*weightedLoss(union.Items()) {
+		t.Errorf("merge-reduce estimate drifted: %v vs %v",
+			weightedLoss(mr.Items()), weightedLoss(union.Items()))
+	}
+}
+
+func TestApproximationError(t *testing.T) {
+	d, losses := syntheticDataset(200, unitWeights)
+	cs, _ := Build(d, losses, 40, simrand.New(8))
+	eps := ApproximationError(cs, d, weightedLoss)
+	if eps < 0 || eps > 0.5 {
+		t.Errorf("relative error = %v", eps)
+	}
+	// Degenerate zero-loss dataset.
+	zero := dataset.New(1)
+	zero.Add(dataset.Sample{BEV: []uint8{1}, Command: dataset.CmdFollow, Targets: []float64{0}}, 1)
+	if got := ApproximationError(FromDataset(zero), zero, weightedLoss); got != 0 {
+		t.Errorf("zero-loss error = %v", got)
+	}
+}
+
+func TestBuildWeightConservationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 20 + int(seed%200)
+		d, losses := syntheticDataset(n, func(i int) float64 { return 1 + float64(i%5) })
+		size := 5 + int(seed%20)
+		cs, err := Build(d, losses, size, simrand.New(seed))
+		if err != nil {
+			return false
+		}
+		if cs.Len() > n || (size <= n && cs.Len() != size) {
+			return false
+		}
+		return math.Abs(cs.TotalWeight()-d.TotalWeight()) < 1e-6*d.TotalWeight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package coreset
+
+import (
+	"fmt"
+
+	"lbchat/internal/dataset"
+	"lbchat/internal/simrand"
+)
+
+// Merge unions two coresets. By the composition property of ε-coresets
+// (§III-D, after [15]): if C₁ and C₂ are ε-coresets of disjoint D₁ and D₂,
+// C₁ ∪ C₂ is an ε-coreset of D₁ ∪ D₂. Weights are preserved.
+func Merge(a, b *Coreset) *Coreset {
+	out := dataset.New(a.Len() + b.Len())
+	for _, it := range a.Items() {
+		out.Add(it.Sample, it.Weight)
+	}
+	for _, it := range b.Items() {
+		out.Add(it.Sample, it.Weight)
+	}
+	return &Coreset{data: out}
+}
+
+// Reduce shrinks a coreset back to the given size by w_C-weighted sampling
+// without replacement, rescaling the surviving weights so the total weight
+// (and hence the loss estimate's scale) is preserved. This is the 'reduce'
+// operation of the merge-and-reduce framework [10] applied after each Merge
+// to keep the coreset size constant.
+func Reduce(c *Coreset, size int, rng *simrand.Rand) (*Coreset, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("coreset: non-positive reduce size %d", size)
+	}
+	if c.Len() <= size {
+		return c, nil
+	}
+	items := c.Items()
+	weights := make([]float64, len(items))
+	var total float64
+	for i, it := range items {
+		weights[i] = it.Weight
+		total += it.Weight
+	}
+	picked := rng.WeightedSampleWithoutReplacement(weights, size)
+	var selected float64
+	for _, pi := range picked {
+		selected += weights[pi]
+	}
+	if selected <= 0 {
+		return nil, fmt.Errorf("coreset: reduce selected zero total weight")
+	}
+	scale := total / selected
+	out := dataset.New(size)
+	for _, pi := range picked {
+		out.Add(items[pi].Sample, items[pi].Weight*scale)
+	}
+	return &Coreset{data: out}, nil
+}
+
+// MergeReduce merges two coresets and reduces the union to size, the fast
+// coreset-updating path for frequent encounters (§III-D).
+func MergeReduce(a, b *Coreset, size int, rng *simrand.Rand) (*Coreset, error) {
+	return Reduce(Merge(a, b), size, rng)
+}
+
+// LossFunc evaluates a model's weighted mean loss over a set of weighted
+// samples; the coreset quality check is generic over it.
+type LossFunc func(items []dataset.Weighted) float64
+
+// ApproximationError returns the relative error |f(x;C) − f(x;D)| / f(x;D)
+// of the coreset's loss estimate under the given loss function — the ε of
+// Definition II.2 realized on one concrete model. A zero dataset loss yields
+// zero error only when the coreset loss is also zero.
+func ApproximationError(c *Coreset, d *dataset.Dataset, loss LossFunc) float64 {
+	fd := loss(d.Items())
+	fc := loss(c.Items())
+	if fd == 0 {
+		if fc == 0 {
+			return 0
+		}
+		return 1
+	}
+	diff := fc - fd
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff / fd
+}

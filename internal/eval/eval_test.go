@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"testing"
+
+	"lbchat/internal/dataset"
+	"lbchat/internal/world"
+)
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	m, err := world.NewMap(world.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildSuite(m, SuiteConfig{RoutesPerCondition: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConditionsOrderAndNames(t *testing.T) {
+	if len(Conditions) != 5 {
+		t.Fatalf("conditions = %d", len(Conditions))
+	}
+	if Conditions[0].String() != "Straight" || Conditions[4].String() != "Navi. (Dense)" {
+		t.Errorf("condition labels wrong: %v ... %v", Conditions[0], Conditions[4])
+	}
+}
+
+func TestBuildSuiteRouteShapes(t *testing.T) {
+	s := testSuite(t)
+	for _, r := range s.Routes[CondStraight] {
+		if r.NumTurns() != 0 {
+			t.Errorf("straight route has %d turns", r.NumTurns())
+		}
+		if r.Length() < 200 || r.Length() > 500 {
+			t.Errorf("straight route length %v", r.Length())
+		}
+	}
+	for _, r := range s.Routes[CondOneTurn] {
+		if r.NumTurns() != 1 {
+			t.Errorf("one-turn route has %d turns", r.NumTurns())
+		}
+	}
+	for _, r := range s.Routes[CondNaviEmpty] {
+		if r.NumTurns() < 2 {
+			t.Errorf("navigation route has only %d turns", r.NumTurns())
+		}
+	}
+}
+
+func TestNaviTiersShareRoutes(t *testing.T) {
+	s := testSuite(t)
+	// The paper evaluates "the same full navigation routes but with
+	// traffic".
+	for i, r := range s.Routes[CondNaviEmpty] {
+		if s.Routes[CondNaviNormal][i] != r || s.Routes[CondNaviDense][i] != r {
+			t.Fatal("navigation tiers use different routes")
+		}
+	}
+}
+
+func TestBuildSuiteRejectsBadConfig(t *testing.T) {
+	m, _ := world.NewMap(world.DefaultConfig())
+	if _, err := BuildSuite(m, SuiteConfig{RoutesPerCondition: 0}); err == nil {
+		t.Error("zero quota accepted")
+	}
+}
+
+func TestTrafficScaling(t *testing.T) {
+	normal := world.SpawnConfig{BackgroundCars: 50, Pedestrians: 250}
+	if got := trafficFor(CondStraight, normal); got.BackgroundCars != 0 || got.Pedestrians != 0 {
+		t.Error("straight tier should be traffic-free")
+	}
+	if got := trafficFor(CondNaviNormal, normal); got.BackgroundCars != 50 {
+		t.Errorf("normal tier cars = %d", got.BackgroundCars)
+	}
+	dense := trafficFor(CondNaviDense, normal)
+	if dense.BackgroundCars != 60 || dense.Pedestrians != 300 {
+		t.Errorf("dense tier = %d cars / %d peds, want 1.2×", dense.BackgroundCars, dense.Pedestrians)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, o := range []Outcome{OutcomeSuccess, OutcomeCollision, OutcomeOffRoad, OutcomeTimeout} {
+		if o.String() == "" {
+			t.Errorf("outcome %d has no name", o)
+		}
+	}
+}
+
+// stoppedDriver predicts collapsed waypoints (full stop) forever.
+type stoppedDriver struct{}
+
+func (stoppedDriver) Predict([]uint8, float64, float64, float64, dataset.Command) []float64 {
+	return []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+}
+
+func TestStoppedDriverTimesOut(t *testing.T) {
+	s := testSuite(t)
+	ev := NewEvaluator(s)
+	route := s.Routes[CondStraight][0]
+	if got := ev.RunTrial(stoppedDriver{}, CondStraight, route, 77); got != OutcomeTimeout {
+		t.Errorf("stopped driver outcome = %v, want timeout", got)
+	}
+}
+
+func TestTrialDeterministic(t *testing.T) {
+	s := testSuite(t)
+	ev := NewEvaluator(s)
+	route := s.Routes[CondNaviNormal][0]
+	a := ev.RunTrial(stoppedDriver{}, CondNaviNormal, route, 7)
+	b := ev.RunTrial(stoppedDriver{}, CondNaviNormal, route, 7)
+	if a != b {
+		t.Errorf("same seed gave %v then %v", a, b)
+	}
+}
+
+func TestRunStatsAggregates(t *testing.T) {
+	s := testSuite(t)
+	ev := NewEvaluator(s)
+	stats := ev.RunStats(stoppedDriver{}, CondStraight, 4, 5)
+	if stats.Trials != 4 {
+		t.Fatalf("trials = %d", stats.Trials)
+	}
+	if stats.Timeouts != 4 {
+		t.Errorf("stopped driver should always time out: %+v", stats)
+	}
+	if stats.SuccessRate() != 0 {
+		t.Errorf("success rate = %v", stats.SuccessRate())
+	}
+	if stats.MeanProgress > 0.2 {
+		t.Errorf("stopped driver progressed %v", stats.MeanProgress)
+	}
+	if stats.String() == "" {
+		t.Error("empty summary")
+	}
+	empty := ev.RunStats(stoppedDriver{}, CondStraight, 0, 5)
+	if empty.Trials != 0 {
+		t.Error("zero-trials stats non-empty")
+	}
+}
+
+func TestTrialReportFields(t *testing.T) {
+	s := testSuite(t)
+	ev := NewEvaluator(s)
+	route := s.Routes[CondStraight][0]
+	agent := &world.FreeAgent{Pos: route.PosAt(12), Heading: route.HeadingAt(12)}
+	rep := ev.RunTrialReport(stoppedDriver{}, CondStraight, route, 5, agent)
+	if rep.Outcome != OutcomeTimeout {
+		t.Fatalf("outcome = %v", rep.Outcome)
+	}
+	if rep.RouteLength != route.Length() {
+		t.Errorf("route length = %v", rep.RouteLength)
+	}
+	if rep.Time <= 0 {
+		t.Errorf("time = %v", rep.Time)
+	}
+	if rep.HitKind != "" {
+		t.Errorf("timeout with hit kind %q", rep.HitKind)
+	}
+}

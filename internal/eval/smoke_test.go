@@ -1,0 +1,62 @@
+package eval_test
+
+import (
+	"testing"
+
+	"lbchat/internal/bev"
+	"lbchat/internal/eval"
+	"lbchat/internal/model"
+	"lbchat/internal/simrand"
+	"lbchat/internal/world"
+)
+
+// TestTrainedBeatsUntrained is the end-to-end check of the online
+// evaluation: a model trained on expert data must clearly out-drive an
+// untrained one on traffic-free conditions.
+func TestTrainedBeatsUntrained(t *testing.T) {
+	if testing.Short() {
+		t.Skip("closed-loop driving eval is slow")
+	}
+	m, err := world.NewMap(world.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewMap: %v", err)
+	}
+	rng := simrand.New(11)
+	w, err := world.New(m, world.SpawnConfig{Experts: 6, BackgroundCars: 20, Pedestrians: 60}, rng)
+	if err != nil {
+		t.Fatalf("world.New: %v", err)
+	}
+	mcfg := model.DefaultConfig()
+	ras := bev.NewRasterizer(bev.DefaultConfig(), m)
+	datasets := world.CollectDataset(w, ras, mcfg.NumWaypoints, 900, 0.5)
+	union := datasets[0]
+	for _, d := range datasets[1:] {
+		union.Absorb(d, 1)
+	}
+	trained, err := model.New(mcfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trng := simrand.New(17)
+	for step := 0; step < 2500; step++ {
+		trained.TrainStep(union.SampleBatch(32, trng))
+	}
+	untrained, _ := model.New(mcfg, 3)
+
+	suite, err := eval.BuildSuite(m, eval.SuiteConfig{RoutesPerCondition: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eval.NewEvaluator(suite)
+	for _, cond := range []eval.Condition{eval.CondStraight, eval.CondOneTurn} {
+		good := ev.SuccessRate(trained, cond, 10, 1000)
+		bad := ev.SuccessRate(untrained, cond, 10, 1000)
+		t.Logf("%v: trained %.0f%% vs untrained %.0f%%", cond, good, bad)
+		if good <= bad {
+			t.Errorf("%v: trained (%.0f%%) not better than untrained (%.0f%%)", cond, good, bad)
+		}
+		if good < 60 {
+			t.Errorf("%v: trained model only %.0f%%", cond, good)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"lbchat/internal/world"
+)
+
+// DrivingStats aggregates trial outcomes beyond the headline success rate —
+// the "other metrics for evaluating a driving model" the paper leaves to
+// future work (§IV-D). Progress and speed come from the trial reports, so
+// the statistics cost nothing extra to collect.
+type DrivingStats struct {
+	Trials     int
+	Successes  int
+	Collisions int
+	OffRoute   int
+	Timeouts   int
+	// PedestrianHits and VehicleHits split the collisions by victim.
+	PedestrianHits int
+	VehicleHits    int
+	// MeanProgress is the mean fraction of the route completed at
+	// termination (1 for successes).
+	MeanProgress float64
+	// MeanSpeed is the mean effective speed over completed distance (m/s).
+	MeanSpeed float64
+}
+
+// SuccessRate returns the success percentage in [0, 100].
+func (s DrivingStats) SuccessRate() float64 {
+	if s.Trials == 0 {
+		return math.NaN()
+	}
+	return 100 * float64(s.Successes) / float64(s.Trials)
+}
+
+// String renders a one-line summary.
+func (s DrivingStats) String() string {
+	return fmt.Sprintf("%d trials: %.0f%% success, %d collisions (%d ped/%d veh), %d off-route, %d timeouts, %.0f%% mean progress, %.1f m/s",
+		s.Trials, s.SuccessRate(), s.Collisions, s.PedestrianHits, s.VehicleHits,
+		s.OffRoute, s.Timeouts, 100*s.MeanProgress, s.MeanSpeed)
+}
+
+// RunStats runs trials of a condition (cycling through its routes) and
+// aggregates full driving statistics.
+func (ev *Evaluator) RunStats(policy Driver, cond Condition, trials int, seed uint64) DrivingStats {
+	routes := ev.Suite.Routes[cond]
+	var out DrivingStats
+	if len(routes) == 0 || trials <= 0 {
+		return out
+	}
+	var progressAcc, speedAcc float64
+	speedSamples := 0
+	for i := 0; i < trials; i++ {
+		route := routes[i%len(routes)]
+		s0 := math.Min(12, route.Length()/4)
+		agent := &world.FreeAgent{Pos: route.PosAt(s0), Heading: route.HeadingAt(s0)}
+		rep := ev.RunTrialReport(policy, cond, route, seed+uint64(i)*7919, agent)
+		out.Trials++
+		switch rep.Outcome {
+		case OutcomeSuccess:
+			out.Successes++
+		case OutcomeCollision:
+			out.Collisions++
+			if rep.HitKind == "pedestrian" {
+				out.PedestrianHits++
+			} else {
+				out.VehicleHits++
+			}
+		case OutcomeOffRoad:
+			out.OffRoute++
+		case OutcomeTimeout:
+			out.Timeouts++
+		}
+		if rep.RouteLength > 0 {
+			frac := rep.Arc / rep.RouteLength
+			if rep.Outcome == OutcomeSuccess {
+				frac = 1
+			}
+			progressAcc += math.Min(frac, 1)
+		}
+		if rep.Time > 1 {
+			speedAcc += rep.Arc / rep.Time
+			speedSamples++
+		}
+	}
+	out.MeanProgress = progressAcc / float64(out.Trials)
+	if speedSamples > 0 {
+		out.MeanSpeed = speedAcc / float64(speedSamples)
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+// Package experiments reproduces the paper's evaluation (§IV): one harness
+// per table and figure, each building the same workload (map, per-vehicle
+// datasets, mobility trace, probe set, driving benchmark routes), running
+// the protocols under identical communication constraints, and rendering
+// results in the paper's row/series layout.
+//
+// Everything is parameterized by a Scale so the identical code paths run as
+// fast unit tests, as medium benchmarks, and as full paper-scale
+// reproductions (32 vehicles).
+package experiments
+
+import (
+	"fmt"
+
+	"lbchat/internal/baselines"
+	"lbchat/internal/bev"
+	"lbchat/internal/core"
+	"lbchat/internal/dataset"
+	"lbchat/internal/eval"
+	"lbchat/internal/geom"
+	"lbchat/internal/metrics"
+	"lbchat/internal/model"
+	"lbchat/internal/radio"
+	"lbchat/internal/simrand"
+	"lbchat/internal/trace"
+	"lbchat/internal/world"
+)
+
+// Scale sets the size of every experiment ingredient.
+type Scale struct {
+	// Name labels output.
+	Name string
+	// Vehicles is the expert fleet size (the paper runs 32).
+	Vehicles int
+	// BackgroundCars and Pedestrians populate the data-collection world.
+	BackgroundCars, Pedestrians int
+	// CollectTicks is the number of 2 fps data-collection ticks (the paper
+	// collects for one hour: 7200 ticks).
+	CollectTicks int
+	// TraceTicks is the number of 2 fps mobility-trace ticks driving
+	// encounters (the paper records 120 extra hours).
+	TraceTicks int
+	// TrainDuration is the co-simulation virtual time (s).
+	TrainDuration float64
+	// ProbeFrames sizes the held-out probe set for loss curves.
+	ProbeFrames int
+	// EvalTrials is the trial count per driving condition.
+	EvalTrials int
+	// EvalFleetSample is how many fleet models are evaluated and averaged
+	// per protocol.
+	EvalFleetSample int
+	// RoutesPerCondition sizes the driving benchmark suite.
+	RoutesPerCondition int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// TestScale is a minimal configuration for unit tests.
+func TestScale() Scale {
+	return Scale{
+		Name:     "test",
+		Vehicles: 4, BackgroundCars: 10, Pedestrians: 30,
+		CollectTicks: 240, TraceTicks: 1600,
+		TrainDuration: 400, ProbeFrames: 48,
+		EvalTrials: 4, EvalFleetSample: 1, RoutesPerCondition: 3,
+		Seed: 1,
+	}
+}
+
+// BenchScale is the default benchmark configuration: large enough to show
+// the paper's orderings, small enough to regenerate every artifact on one
+// CPU core in minutes.
+func BenchScale() Scale {
+	return Scale{
+		Name:     "bench",
+		Vehicles: 12, BackgroundCars: 50, Pedestrians: 250,
+		CollectTicks: 1500, TraceTicks: 14400,
+		TrainDuration: 2400, ProbeFrames: 96,
+		EvalTrials: 16, EvalFleetSample: 3, RoutesPerCondition: 8,
+		Seed: 7,
+	}
+}
+
+// FullScale mirrors the paper: 32 expert vehicles, 50 background cars, 250
+// pedestrians, long traces.
+func FullScale() Scale {
+	return Scale{
+		Name:     "full",
+		Vehicles: 32, BackgroundCars: 50, Pedestrians: 250,
+		CollectTicks: 3600, TraceTicks: 28800,
+		TrainDuration: 3600, ProbeFrames: 128,
+		EvalTrials: 24, EvalFleetSample: 4, RoutesPerCondition: 10,
+		Seed: 7,
+	}
+}
+
+// Env is the shared workload every protocol runs against.
+type Env struct {
+	Scale    Scale
+	Map      *world.Map
+	Trace    *trace.Trace
+	Probe    []dataset.Weighted
+	Suite    *eval.Suite
+	Cfg      core.Config
+	datasets []*dataset.Dataset // master copies; runs get fresh clones
+}
+
+// BuildEnv constructs the workload: generate the map, spawn the fleet,
+// collect per-vehicle datasets at 2 fps, record the mobility trace, build
+// the held-out probe set and the driving benchmark suite.
+func BuildEnv(scale Scale) (*Env, error) {
+	m, err := world.NewMap(world.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building map: %w", err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Seed = scale.Seed
+
+	rng := simrand.New(scale.Seed)
+	w, err := world.New(m, world.SpawnConfig{
+		Experts:        scale.Vehicles,
+		BackgroundCars: scale.BackgroundCars,
+		Pedestrians:    scale.Pedestrians,
+	}, rng.Derive("collect-world"))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: spawning world: %w", err)
+	}
+	ras := bev.NewRasterizer(bev.DefaultConfig(), m)
+	datasets := world.CollectDataset(w, ras, cfg.Model.NumWaypoints, scale.CollectTicks, 0.5)
+
+	// The paper records additional mobility (beyond the collection hour) to
+	// drive encounters; we keep stepping the same world.
+	tr := trace.Record(w, scale.TraceTicks, 0.5)
+
+	probe, err := eval.ProbeSet(m, bev.DefaultConfig(), cfg.Model.NumWaypoints, scale.ProbeFrames, scale.Seed+1000)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building probe: %w", err)
+	}
+	suite, err := eval.BuildSuite(m, eval.SuiteConfig{
+		RoutesPerCondition: scale.RoutesPerCondition,
+		Seed:               scale.Seed + 2000,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building eval suite: %w", err)
+	}
+	return &Env{
+		Scale: scale, Map: m, Trace: tr, Probe: probe, Suite: suite,
+		Cfg: cfg, datasets: datasets,
+	}, nil
+}
+
+// FreshDatasets returns per-run dataset clones: protocols expand their local
+// datasets in place, so each run starts from pristine copies (sample
+// payloads are shared — they are immutable).
+func (e *Env) FreshDatasets() []*dataset.Dataset {
+	out := make([]*dataset.Dataset, len(e.datasets))
+	for i, d := range e.datasets {
+		out[i] = dataset.FromWeighted(append([]dataset.Weighted(nil), d.Items()...))
+	}
+	return out
+}
+
+// RSUPositions returns the road-side-unit deployment: a subset of the
+// road-cross intersections, as in [29] — RSU coverage is sparse enough that
+// vehicles spend real time out of range (every third cross, which on the
+// default map leaves coverage holes in both town and rural areas).
+func (e *Env) RSUPositions() []geom.Point {
+	var out []geom.Point
+	crosses := 0
+	for _, n := range e.Map.Nodes {
+		if len(n.Out) >= 3 {
+			if crosses%3 == 0 {
+				out = append(out, n.Pos)
+			}
+			crosses++
+		}
+	}
+	return out
+}
+
+// ProtocolName identifies a runnable protocol or variant.
+type ProtocolName string
+
+// The protocols and variants of §IV.
+const (
+	ProtoLbChat    ProtocolName = "LbChat"
+	ProtoProxSkip  ProtocolName = "ProxSkip"
+	ProtoRSUL      ProtocolName = "RSU-L"
+	ProtoDFLDDS    ProtocolName = "DFL-DDS"
+	ProtoDP        ProtocolName = "DP"
+	ProtoSCO       ProtocolName = "SCO"
+	ProtoEqualComp ProtocolName = "LbChat-EqualComp"
+	ProtoAvgAgg    ProtocolName = "LbChat-AvgAgg"
+	ProtoNoPrio    ProtocolName = "LbChat-NoPrio"
+	ProtoAdaptive  ProtocolName = "LbChat-AdaptiveCS"
+)
+
+// BenchmarkProtocols lists the Fig. 2 / Tables II–III lineup in the paper's
+// column order.
+var BenchmarkProtocols = []ProtocolName{ProtoProxSkip, ProtoRSUL, ProtoDFLDDS, ProtoDP, ProtoLbChat}
+
+// newProtocol constructs a protocol instance by name.
+func (e *Env) newProtocol(name ProtocolName) (core.Protocol, error) {
+	switch name {
+	case ProtoLbChat:
+		return core.NewLbChat(), nil
+	case ProtoSCO:
+		return core.NewSCO(), nil
+	case ProtoEqualComp:
+		return core.NewLbChatVariant(string(name), core.Variant{EqualCompression: true}), nil
+	case ProtoAvgAgg:
+		return core.NewLbChatVariant(string(name), core.Variant{AverageAggregation: true}), nil
+	case ProtoNoPrio:
+		return core.NewLbChatVariant(string(name), core.Variant{NoPrioritization: true}), nil
+	case ProtoAdaptive:
+		return core.NewLbChatVariant(string(name), core.Variant{AdaptiveCoresetSize: true}), nil
+	case ProtoProxSkip:
+		return baselines.NewProxSkip(), nil
+	case ProtoRSUL:
+		return baselines.NewRSUL(e.RSUPositions()), nil
+	case ProtoDFLDDS:
+		return baselines.NewDFLDDS(), nil
+	case ProtoDP:
+		return baselines.NewDP(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown protocol %q", name)
+	}
+}
+
+// Run is one protocol training run's outputs.
+type Run struct {
+	Name ProtocolName
+	// Lossless records the wireless regime the run used.
+	Lossless bool
+	// Curve is the probe-loss trajectory (Figs. 2–3).
+	Curve metrics.Curve
+	// Recv aggregates the fleet's model-receive outcomes (§IV-C).
+	Recv metrics.ReceiveStats
+	// Fleet holds every vehicle's final model.
+	Fleet []*model.Policy
+}
+
+// RunProtocol trains the fleet under one protocol and wireless regime.
+// cfgMut, when non-nil, adjusts the engine config (coreset-size sweeps).
+func (e *Env) RunProtocol(name ProtocolName, lossless bool, cfgMut func(*core.Config)) (*Run, error) {
+	cfg := e.Cfg
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	proto, err := e.newProtocol(name)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(cfg, e.Trace, e.FreshDatasets(), radio.NewModel(lossless), e.Probe)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: engine for %s: %w", name, err)
+	}
+	if err := eng.Run(proto, e.Scale.TrainDuration); err != nil {
+		return nil, fmt.Errorf("experiments: running %s: %w", name, err)
+	}
+	run := &Run{Name: name, Lossless: lossless, Curve: eng.LossCurve, Recv: eng.FleetReceiveStats()}
+	for _, v := range eng.Vehicles {
+		run.Fleet = append(run.Fleet, v.Policy)
+	}
+	return run, nil
+}
+
+// EvalFleet computes fleet-averaged driving success rates for every
+// condition: EvalFleetSample models spread across the fleet are each run on
+// EvalTrials trials and the rates averaged — the per-model average is what
+// the paper reports ("driving success rate on average").
+func (e *Env) EvalFleet(fleet []*model.Policy) map[eval.Condition]float64 {
+	ev := eval.NewEvaluator(e.Suite)
+	ev.NormalTraffic = world.SpawnConfig{
+		BackgroundCars: e.Scale.BackgroundCars,
+		Pedestrians:    e.Scale.Pedestrians,
+	}
+	sample := e.Scale.EvalFleetSample
+	if sample < 1 {
+		sample = 1
+	}
+	if sample > len(fleet) {
+		sample = len(fleet)
+	}
+	out := make(map[eval.Condition]float64, len(eval.Conditions))
+	for _, cond := range eval.Conditions {
+		var sum float64
+		for k := 0; k < sample; k++ {
+			idx := k * len(fleet) / sample
+			seed := e.Scale.Seed*1_000_003 + uint64(k)*501 + uint64(cond)*77
+			sum += ev.SuccessRate(fleet[idx], cond, e.Scale.EvalTrials, seed)
+		}
+		out[cond] = sum / float64(sample)
+	}
+	return out
+}
+
+// SuccessTable renders per-protocol driving success rates as a paper-style
+// table with one column per protocol, in the given order.
+func (e *Env) SuccessTable(title string, order []ProtocolName, rates map[ProtocolName]map[eval.Condition]float64) *metrics.Table {
+	cols := make([]string, len(order))
+	for i, n := range order {
+		cols[i] = string(n)
+	}
+	tbl := metrics.NewTable(title, cols...)
+	for _, cond := range eval.Conditions {
+		vals := make([]float64, len(order))
+		for i, n := range order {
+			vals[i] = rates[n][cond]
+		}
+		tbl.AddRow(cond.String(), vals...)
+	}
+	return tbl
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"lbchat/internal/core"
+	"lbchat/internal/eval"
+	"lbchat/internal/metrics"
+)
+
+// Fig2 reproduces Figure 2: training loss vs time for LbChat and the four
+// benchmarks. lossless=true is Fig. 2(a) ("W/O wireless loss"),
+// lossless=false is Fig. 2(b) ("W wireless loss").
+func (e *Env) Fig2(lossless bool) ([]*Run, error) {
+	runs := make([]*Run, 0, len(BenchmarkProtocols))
+	for _, name := range BenchmarkProtocols {
+		run, err := e.RunProtocol(name, lossless, nil)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+// ReceiveRates extracts the §IV-C successful model-receiving rates from a
+// set of lossy-regime runs (the paper reports LbChat 87% vs 51–60% for the
+// benchmarks).
+func ReceiveRates(runs []*Run) map[ProtocolName]float64 {
+	out := make(map[ProtocolName]float64, len(runs))
+	for _, r := range runs {
+		out[r.Name] = 100 * r.Recv.Rate()
+	}
+	return out
+}
+
+// SuccessRates evaluates the final fleets of a set of runs on the driving
+// benchmark, returning per-protocol condition→rate maps (Tables II–III).
+func (e *Env) SuccessRates(runs []*Run) map[ProtocolName]map[eval.Condition]float64 {
+	out := make(map[ProtocolName]map[eval.Condition]float64, len(runs))
+	for _, r := range runs {
+		out[r.Name] = e.EvalFleet(r.Fleet)
+	}
+	return out
+}
+
+// Table2 reproduces Table II (driving success rate, W/O wireless loss):
+// train all five protocols lossless and evaluate their fleets.
+func (e *Env) Table2() (*metrics.Table, []*Run, error) {
+	runs, err := e.Fig2(true)
+	if err != nil {
+		return nil, nil, err
+	}
+	rates := e.SuccessRates(runs)
+	return e.SuccessTable("Table II: driving success rate on average (W/O wireless loss) (%)",
+		BenchmarkProtocols, rates), runs, nil
+}
+
+// Table3 reproduces Table III (driving success rate, W wireless loss).
+func (e *Env) Table3() (*metrics.Table, []*Run, error) {
+	runs, err := e.Fig2(false)
+	if err != nil {
+		return nil, nil, err
+	}
+	rates := e.SuccessRates(runs)
+	return e.SuccessTable("Table III: driving success rate on average (W wireless loss) (%)",
+		BenchmarkProtocols, rates), runs, nil
+}
+
+// Table4 reproduces Table IV: LbChat with coreset sizes 10× and 1/10 the
+// default, in both wireless regimes. Columns follow the paper: 1500 (W/O),
+// 15 (W/O), 1500 (W), 15 (W).
+func (e *Env) Table4() (*metrics.Table, error) {
+	type variant struct {
+		label    string
+		size     int
+		lossless bool
+	}
+	variants := []variant{
+		{"1500 (W/O)", e.Cfg.CoresetSize * 10, true},
+		{"15 (W/O)", maxInt(e.Cfg.CoresetSize/10, 2), true},
+		{"1500 (W)", e.Cfg.CoresetSize * 10, false},
+		{"15 (W)", maxInt(e.Cfg.CoresetSize/10, 2), false},
+	}
+	cols := make([]string, len(variants))
+	rates := make([]map[eval.Condition]float64, len(variants))
+	for i, v := range variants {
+		cols[i] = v.label
+		size := v.size
+		run, err := e.RunProtocol(ProtoLbChat, v.lossless, func(c *core.Config) { c.CoresetSize = size })
+		if err != nil {
+			return nil, err
+		}
+		rates[i] = e.EvalFleet(run.Fleet)
+	}
+	tbl := metrics.NewTable("Table IV: driving success rate with different coreset size (%)", cols...)
+	for _, cond := range eval.Conditions {
+		vals := make([]float64, len(variants))
+		for i := range variants {
+			vals[i] = rates[i][cond]
+		}
+		tbl.AddRow(cond.String(), vals...)
+	}
+	return tbl, nil
+}
+
+// ablationTable runs one LbChat variant in both wireless regimes.
+func (e *Env) ablationTable(title string, name ProtocolName) (*metrics.Table, error) {
+	ratesWO, err := e.RunProtocol(name, true, nil)
+	if err != nil {
+		return nil, err
+	}
+	ratesW, err := e.RunProtocol(name, false, nil)
+	if err != nil {
+		return nil, err
+	}
+	wo := e.EvalFleet(ratesWO.Fleet)
+	w := e.EvalFleet(ratesW.Fleet)
+	tbl := metrics.NewTable(title, "W/O wireless loss", "W wireless loss")
+	for _, cond := range eval.Conditions {
+		tbl.AddRow(cond.String(), wo[cond], w[cond])
+	}
+	return tbl, nil
+}
+
+// Table5 reproduces Table V: the equal-compression ablation (Eq. (7)
+// masked).
+func (e *Env) Table5() (*metrics.Table, error) {
+	return e.ablationTable("Table V: driving success rate with equal comp. ratio (%)", ProtoEqualComp)
+}
+
+// Table6 reproduces Table VI: the average-aggregation ablation (Eq. (8)
+// masked).
+func (e *Env) Table6() (*metrics.Table, error) {
+	return e.ablationTable("Table VI: driving success rate with avg. aggregation (%)", ProtoAvgAgg)
+}
+
+// Table7 reproduces Table VII: SCO, sharing coresets only.
+func (e *Env) Table7() (*metrics.Table, error) {
+	return e.ablationTable("Table VII: driving success rate with sharing coreset only (%)", ProtoSCO)
+}
+
+// Fig3 reproduces Figure 3: LbChat vs SCO loss curves, plus the
+// convergence-time ratio the paper highlights (SCO takes 1.5–1.8× longer).
+// The threshold is the loss both curves eventually reach, placed at 10%
+// above the slower curve's best.
+func (e *Env) Fig3(lossless bool) (lbchat, sco *Run, ratio float64, err error) {
+	lbchat, err = e.RunProtocol(ProtoLbChat, lossless, nil)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	sco, err = e.RunProtocol(ProtoSCO, lossless, nil)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	ratio = ConvergenceRatio(&lbchat.Curve, &sco.Curve)
+	return lbchat, sco, ratio, nil
+}
+
+// ConvergenceRatio returns how much longer the second curve takes to reach
+// a common loss threshold (NaN when either never reaches it).
+func ConvergenceRatio(fast, slow *metrics.Curve) float64 {
+	threshold := 1.10 * math.Max(fast.Min(), slow.Min())
+	tFast := fast.TimeToReach(threshold)
+	tSlow := slow.TimeToReach(threshold)
+	if math.IsNaN(tFast) || math.IsNaN(tSlow) || tFast <= 0 {
+		return math.NaN()
+	}
+	return tSlow / tFast
+}
+
+// RenderCurves prints a set of loss curves in aligned columns for plotting.
+func RenderCurves(runs []*Run) string {
+	out := ""
+	for _, r := range runs {
+		out += r.Curve.Render() + "\n"
+	}
+	return out
+}
+
+// RenderReceiveRates prints the §IV-C receive-rate comparison.
+func RenderReceiveRates(rates map[ProtocolName]float64) string {
+	out := "Successful model receiving rate (%)\n"
+	for _, name := range BenchmarkProtocols {
+		if r, ok := rates[name]; ok {
+			out += fmt.Sprintf("  %-10s %5.1f\n", name, r)
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

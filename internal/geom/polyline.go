@@ -1,0 +1,139 @@
+package geom
+
+import "math"
+
+// Polyline is a sequence of points with a precomputed arc-length
+// parameterization, used for lane centerlines and vehicle routes.
+type Polyline struct {
+	pts    []Point
+	cumLen []float64 // cumLen[i] = arc length from pts[0] to pts[i]
+}
+
+// NewPolyline builds a polyline from the given points. Consecutive duplicate
+// points are collapsed. A polyline needs at least one point to be useful;
+// an empty input yields an empty polyline with zero length.
+func NewPolyline(pts []Point) *Polyline {
+	clean := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if n := len(clean); n > 0 && clean[n-1].Dist(p) < 1e-12 {
+			continue
+		}
+		clean = append(clean, p)
+	}
+	cum := make([]float64, len(clean))
+	for i := 1; i < len(clean); i++ {
+		cum[i] = cum[i-1] + clean[i-1].Dist(clean[i])
+	}
+	return &Polyline{pts: clean, cumLen: cum}
+}
+
+// Len returns the number of points.
+func (pl *Polyline) Len() int { return len(pl.pts) }
+
+// Points returns a copy of the underlying points.
+func (pl *Polyline) Points() []Point {
+	out := make([]Point, len(pl.pts))
+	copy(out, pl.pts)
+	return out
+}
+
+// Point returns the i-th point.
+func (pl *Polyline) Point(i int) Point { return pl.pts[i] }
+
+// Length returns the total arc length.
+func (pl *Polyline) Length() float64 {
+	if len(pl.cumLen) == 0 {
+		return 0
+	}
+	return pl.cumLen[len(pl.cumLen)-1]
+}
+
+// At returns the point at arc length s from the start, clamped to the
+// polyline's extent.
+func (pl *Polyline) At(s float64) Point {
+	n := len(pl.pts)
+	switch {
+	case n == 0:
+		return Point{}
+	case n == 1 || s <= 0:
+		return pl.pts[0]
+	case s >= pl.Length():
+		return pl.pts[n-1]
+	}
+	i := pl.segmentIndex(s)
+	segLen := pl.cumLen[i+1] - pl.cumLen[i]
+	t := (s - pl.cumLen[i]) / segLen
+	return Lerp(pl.pts[i], pl.pts[i+1], t)
+}
+
+// HeadingAt returns the tangent heading at arc length s.
+func (pl *Polyline) HeadingAt(s float64) float64 {
+	n := len(pl.pts)
+	if n < 2 {
+		return 0
+	}
+	i := pl.segmentIndex(Clamp(s, 0, pl.Length()))
+	return pl.pts[i+1].Sub(pl.pts[i]).Heading()
+}
+
+// segmentIndex returns the index i of the segment [pts[i], pts[i+1]]
+// containing arc length s. s must be within [0, Length()] and the polyline
+// must have at least two points.
+func (pl *Polyline) segmentIndex(s float64) int {
+	lo, hi := 0, len(pl.cumLen)-1
+	for lo < hi-1 {
+		mid := (lo + hi) / 2
+		if pl.cumLen[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Project returns the arc length of the point on the polyline closest to p,
+// together with the distance from p to that point.
+func (pl *Polyline) Project(p Point) (arc, dist float64) {
+	n := len(pl.pts)
+	if n == 0 {
+		return 0, math.Inf(1)
+	}
+	if n == 1 {
+		return 0, pl.pts[0].Dist(p)
+	}
+	bestDist := math.Inf(1)
+	bestArc := 0.0
+	for i := 0; i < n-1; i++ {
+		seg := Segment{A: pl.pts[i], B: pl.pts[i+1]}
+		q, t := seg.ClosestPoint(p)
+		if d := q.Dist(p); d < bestDist {
+			bestDist = d
+			bestArc = pl.cumLen[i] + t*seg.Length()
+		}
+	}
+	return bestArc, bestDist
+}
+
+// Resample returns points spaced ds apart along the polyline, always
+// including the final point.
+func (pl *Polyline) Resample(ds float64) []Point {
+	if pl.Len() == 0 || ds <= 0 {
+		return nil
+	}
+	total := pl.Length()
+	out := make([]Point, 0, int(total/ds)+2)
+	for s := 0.0; s < total; s += ds {
+		out = append(out, pl.At(s))
+	}
+	out = append(out, pl.At(total))
+	return out
+}
+
+// Concat returns a new polyline consisting of pl followed by other.
+func (pl *Polyline) Concat(other *Polyline) *Polyline {
+	pts := make([]Point, 0, len(pl.pts)+other.Len())
+	pts = append(pts, pl.pts...)
+	pts = append(pts, other.pts...)
+	return NewPolyline(pts)
+}

@@ -1,0 +1,122 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func line(pts ...Point) *Polyline { return NewPolyline(pts) }
+
+func TestPolylineLength(t *testing.T) {
+	pl := line(Pt(0, 0), Pt(3, 0), Pt(3, 4))
+	if !near(pl.Length(), 7) {
+		t.Errorf("length = %v, want 7", pl.Length())
+	}
+}
+
+func TestPolylineCollapsesDuplicates(t *testing.T) {
+	pl := line(Pt(0, 0), Pt(0, 0), Pt(1, 0))
+	if pl.Len() != 2 {
+		t.Errorf("len = %d, want 2", pl.Len())
+	}
+}
+
+func TestPolylineAt(t *testing.T) {
+	pl := line(Pt(0, 0), Pt(10, 0))
+	cases := []struct {
+		s    float64
+		want Point
+	}{
+		{-5, Pt(0, 0)},
+		{0, Pt(0, 0)},
+		{4, Pt(4, 0)},
+		{10, Pt(10, 0)},
+		{99, Pt(10, 0)},
+	}
+	for _, c := range cases {
+		if got := pl.At(c.s); !near(got.X, c.want.X) || !near(got.Y, c.want.Y) {
+			t.Errorf("At(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestPolylineAtCorner(t *testing.T) {
+	pl := line(Pt(0, 0), Pt(10, 0), Pt(10, 10))
+	p := pl.At(15)
+	if !near(p.X, 10) || !near(p.Y, 5) {
+		t.Errorf("At(15) = %v, want (10,5)", p)
+	}
+}
+
+func TestHeadingAt(t *testing.T) {
+	pl := line(Pt(0, 0), Pt(10, 0), Pt(10, 10))
+	if h := pl.HeadingAt(5); !near(h, 0) {
+		t.Errorf("heading on first leg = %v", h)
+	}
+	if h := pl.HeadingAt(15); !near(h, math.Pi/2) {
+		t.Errorf("heading on second leg = %v", h)
+	}
+}
+
+func TestProject(t *testing.T) {
+	pl := line(Pt(0, 0), Pt(10, 0), Pt(10, 10))
+	arc, dist := pl.Project(Pt(4, 3))
+	if !near(arc, 4) || !near(dist, 3) {
+		t.Errorf("project (4,3): arc=%v dist=%v", arc, dist)
+	}
+	arc, dist = pl.Project(Pt(12, 7))
+	if !near(arc, 17) || !near(dist, 2) {
+		t.Errorf("project (12,7): arc=%v dist=%v", arc, dist)
+	}
+}
+
+func TestProjectEmpty(t *testing.T) {
+	pl := line()
+	_, dist := pl.Project(Pt(1, 1))
+	if !math.IsInf(dist, 1) {
+		t.Errorf("empty polyline distance = %v, want +Inf", dist)
+	}
+}
+
+func TestProjectSinglePoint(t *testing.T) {
+	pl := line(Pt(2, 2))
+	arc, dist := pl.Project(Pt(2, 5))
+	if arc != 0 || !near(dist, 3) {
+		t.Errorf("single point: arc=%v dist=%v", arc, dist)
+	}
+}
+
+func TestResample(t *testing.T) {
+	pl := line(Pt(0, 0), Pt(10, 0))
+	pts := pl.Resample(2.5)
+	if len(pts) != 5 {
+		t.Fatalf("resampled %d points, want 5", len(pts))
+	}
+	last := pts[len(pts)-1]
+	if !near(last.X, 10) {
+		t.Errorf("final resample point = %v", last)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := line(Pt(0, 0), Pt(5, 0))
+	b := line(Pt(5, 0), Pt(5, 5))
+	c := a.Concat(b)
+	if !near(c.Length(), 10) {
+		t.Errorf("concat length = %v", c.Length())
+	}
+}
+
+func TestProjectConsistentWithAt(t *testing.T) {
+	// Projecting a point ON the polyline must return (≈arc, ≈0).
+	pl := line(Pt(0, 0), Pt(20, 0), Pt(20, 15), Pt(0, 15))
+	for s := 0.0; s <= pl.Length(); s += 1.7 {
+		arc, dist := pl.Project(pl.At(s))
+		if dist > 1e-9 {
+			t.Fatalf("on-line point at s=%v has dist %v", s, dist)
+		}
+		if math.Abs(arc-s) > 1e-6 {
+			t.Fatalf("on-line point at s=%v projects to arc %v", s, arc)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package interp implements Akima's interpolation and smooth curve fitting
+// (Akima, JACM 1970), the method the paper uses (its reference [21]) to fit
+// the mapping function φ between a model's compression level ψ and its
+// resulting loss on a coreset.
+//
+// Akima splines are local: each interval's cubic depends only on nearby
+// points, so one noisy sample does not ripple across the whole curve —
+// well-suited to the small, irregular (ψ, loss) sample sets vehicles collect.
+package interp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Akima is a fitted Akima spline.
+type Akima struct {
+	xs, ys []float64
+	slopes []float64 // spline slope t_i at each knot
+}
+
+// NewAkima fits an Akima spline through the given points. At least two
+// points are required; x values must be strictly increasing after sorting
+// (duplicates are rejected).
+func NewAkima(xs, ys []float64) (*Akima, error) {
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("interp: %d xs vs %d ys", len(xs), len(ys))
+	}
+	n := len(xs)
+	if n < 2 {
+		return nil, fmt.Errorf("interp: need at least 2 points, got %d", n)
+	}
+	// Sort points by x, keeping pairs together.
+	type pt struct{ x, y float64 }
+	pts := make([]pt, n)
+	for i := range xs {
+		pts[i] = pt{xs[i], ys[i]}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	sx := make([]float64, n)
+	sy := make([]float64, n)
+	for i, p := range pts {
+		sx[i] = p.x
+		sy[i] = p.y
+	}
+	for i := 1; i < n; i++ {
+		if sx[i] == sx[i-1] {
+			return nil, fmt.Errorf("interp: duplicate x value %g", sx[i])
+		}
+	}
+
+	// Segment slopes m_i, extended by two phantom slopes at each end per
+	// Akima's prescription.
+	m := make([]float64, n+3) // m[2..n] are real; m[0],m[1],m[n+1],m[n+2] extrapolated
+	for i := 0; i < n-1; i++ {
+		m[i+2] = (sy[i+1] - sy[i]) / (sx[i+1] - sx[i])
+	}
+	if n == 2 {
+		// A two-point fit is a line: all phantom slopes equal the one real
+		// slope (the general formulas below would be circular).
+		m[0], m[1], m[3], m[4] = m[2], m[2], m[2], m[2]
+	} else {
+		m[1] = 2*m[2] - m[3]
+		m[0] = 2*m[1] - m[2]
+		m[n+1] = 2*m[n] - m[n-1]
+		m[n+2] = 2*m[n+1] - m[n]
+	}
+
+	slopes := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w1 := math.Abs(m[i+3] - m[i+2]) // |m_{i+1} - m_i|
+		w2 := math.Abs(m[i+1] - m[i])   // |m_{i-1} - m_{i-2}|
+		if w1+w2 == 0 {
+			slopes[i] = (m[i+1] + m[i+2]) / 2
+		} else {
+			slopes[i] = (w1*m[i+1] + w2*m[i+2]) / (w1 + w2)
+		}
+	}
+	return &Akima{xs: sx, ys: sy, slopes: slopes}, nil
+}
+
+// Eval evaluates the spline at x. Outside the knot range the spline
+// extrapolates linearly from the boundary slope.
+func (a *Akima) Eval(x float64) float64 {
+	n := len(a.xs)
+	if x <= a.xs[0] {
+		return a.ys[0] + a.slopes[0]*(x-a.xs[0])
+	}
+	if x >= a.xs[n-1] {
+		return a.ys[n-1] + a.slopes[n-1]*(x-a.xs[n-1])
+	}
+	// Binary search for the interval with xs[i] <= x < xs[i+1].
+	i := sort.SearchFloat64s(a.xs, x)
+	if i > 0 && (i == n || a.xs[i] != x) {
+		i--
+	}
+	h := a.xs[i+1] - a.xs[i]
+	t := (x - a.xs[i]) / h
+	y0, y1 := a.ys[i], a.ys[i+1]
+	t0, t1 := a.slopes[i]*h, a.slopes[i+1]*h
+	// Cubic Hermite basis.
+	t2 := t * t
+	t3 := t2 * t
+	return y0*(2*t3-3*t2+1) + t0*(t3-2*t2+t) + y1*(-2*t3+3*t2) + t1*(t3-t2)
+}
+
+// Knots returns the spline's sorted x knots.
+func (a *Akima) Knots() []float64 {
+	out := make([]float64, len(a.xs))
+	copy(out, a.xs)
+	return out
+}

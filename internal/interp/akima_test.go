@@ -1,0 +1,146 @@
+package interp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAkimaInterpolatesKnots(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1, 3, 2, 5, 4}
+	a, err := NewAkima(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if got := a.Eval(xs[i]); math.Abs(got-ys[i]) > 1e-9 {
+			t.Errorf("Eval(%v) = %v, want %v", xs[i], got, ys[i])
+		}
+	}
+}
+
+func TestAkimaExactOnLinear(t *testing.T) {
+	xs := []float64{0, 1, 2, 5, 9}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2*x - 3
+	}
+	a, err := NewAkima(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := -1.0; x <= 10; x += 0.37 {
+		want := 2*x - 3
+		if got := a.Eval(x); math.Abs(got-want) > 1e-9 {
+			t.Errorf("linear Eval(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestAkimaSortsInput(t *testing.T) {
+	a, err := NewAkima([]float64{3, 1, 2}, []float64{9, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Eval(2); math.Abs(got-4) > 1e-9 {
+		t.Errorf("Eval(2) = %v after sorting", got)
+	}
+	knots := a.Knots()
+	if knots[0] != 1 || knots[2] != 3 {
+		t.Errorf("knots not sorted: %v", knots)
+	}
+}
+
+func TestAkimaRejectsBadInput(t *testing.T) {
+	if _, err := NewAkima([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := NewAkima([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewAkima([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Error("duplicate x accepted")
+	}
+}
+
+func TestAkimaNoOvershootOnStep(t *testing.T) {
+	// Akima's method is famous for not oscillating on step-like data the
+	// way global cubic splines do: between flat knots the curve stays flat.
+	xs := []float64{0, 1, 2, 3, 4, 5, 6}
+	ys := []float64{0, 0, 0, 1, 1, 1, 1}
+	a, err := NewAkima(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x <= 2.0; x += 0.1 {
+		if v := a.Eval(x); math.Abs(v) > 1e-9 {
+			t.Errorf("flat region Eval(%v) = %v, want 0", x, v)
+		}
+	}
+	for x := 4.0; x <= 6.0; x += 0.1 {
+		if v := a.Eval(x); math.Abs(v-1) > 1e-9 {
+			t.Errorf("flat region Eval(%v) = %v, want 1", x, v)
+		}
+	}
+}
+
+func TestAkimaMonotoneDataStaysBounded(t *testing.T) {
+	xs := []float64{0, 0.1, 0.3, 0.6, 1.0}
+	ys := []float64{5, 3, 1.5, 1.1, 1.0}
+	a, err := NewAkima(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0.0; x <= 1.0; x += 0.01 {
+		v := a.Eval(x)
+		if v < 0.5 || v > 5.5 {
+			t.Errorf("Eval(%v) = %v escapes the data envelope", x, v)
+		}
+	}
+}
+
+func TestAkimaTwoPointLinear(t *testing.T) {
+	a, err := NewAkima([]float64{0, 2}, []float64{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Eval(1); math.Abs(got-3) > 1e-9 {
+		t.Errorf("midpoint = %v, want 3", got)
+	}
+}
+
+func TestAkimaExtrapolatesLinearly(t *testing.T) {
+	a, err := NewAkima([]float64{0, 1, 2}, []float64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Eval(4); math.Abs(got-4) > 1e-9 {
+		t.Errorf("right extrapolation = %v", got)
+	}
+	if got := a.Eval(-2); math.Abs(got+2) > 1e-9 {
+		t.Errorf("left extrapolation = %v", got)
+	}
+}
+
+func TestAkimaKnotInterpolationProperty(t *testing.T) {
+	// For arbitrary strictly increasing xs and bounded ys, the spline must
+	// pass through every knot exactly.
+	for seed := 0; seed < 30; seed++ {
+		n := 3 + seed%6
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i) + float64(seed%3)*0.25
+			ys[i] = math.Sin(float64(seed+i)) * 10
+		}
+		a, err := NewAkima(xs, ys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			if got := a.Eval(xs[i]); math.Abs(got-ys[i]) > 1e-9 {
+				t.Fatalf("seed %d: Eval(%v) = %v, want %v", seed, xs[i], got, ys[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCurveBasics(t *testing.T) {
+	var c Curve
+	if !math.IsNaN(c.Final()) || !math.IsNaN(c.Min()) {
+		t.Error("empty curve should report NaN")
+	}
+	c.Add(0, 1.0)
+	c.Add(60, 0.5)
+	c.Add(120, 0.7)
+	if c.Final() != 0.7 {
+		t.Errorf("Final = %v", c.Final())
+	}
+	if c.Min() != 0.5 {
+		t.Errorf("Min = %v", c.Min())
+	}
+}
+
+func TestTimeToReach(t *testing.T) {
+	var c Curve
+	c.Add(0, 1.0)
+	c.Add(60, 0.5)
+	c.Add(120, 0.2)
+	if got := c.TimeToReach(0.5); got != 60 {
+		t.Errorf("TimeToReach(0.5) = %v", got)
+	}
+	if got := c.TimeToReach(0.1); !math.IsNaN(got) {
+		t.Errorf("unreachable threshold = %v", got)
+	}
+}
+
+func TestCurveRender(t *testing.T) {
+	c := Curve{Name: "LbChat"}
+	c.Add(0, 0.5)
+	out := c.Render()
+	if !strings.Contains(out, "LbChat") || !strings.Contains(out, "0.5") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestReceiveStats(t *testing.T) {
+	var s ReceiveStats
+	if !math.IsNaN(s.Rate()) {
+		t.Error("no-attempt rate should be NaN")
+	}
+	s.Record(true)
+	s.Record(true)
+	s.Record(false)
+	if s.Rate() != 2.0/3 {
+		t.Errorf("Rate = %v", s.Rate())
+	}
+	var other ReceiveStats
+	other.Record(true)
+	s.Merge(other)
+	if s.Attempts != 4 || s.Successes != 3 {
+		t.Errorf("after merge: %+v", s)
+	}
+}
+
+func TestTableValueAndRender(t *testing.T) {
+	tbl := NewTable("Title", "A", "B")
+	tbl.AddRow("Straight", 100, 98)
+	tbl.AddRow("Navi. (Dense)", 78.25, 65)
+	if got := tbl.Value("Straight", "B"); got != 98 {
+		t.Errorf("Value = %v", got)
+	}
+	if got := tbl.Value("Straight", "missing"); !math.IsNaN(got) {
+		t.Errorf("missing column = %v", got)
+	}
+	if got := tbl.Value("missing", "A"); !math.IsNaN(got) {
+		t.Errorf("missing row = %v", got)
+	}
+	out := tbl.Render()
+	for _, want := range []string{"Title", "Straight", "Navi. (Dense)", "100", "78.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}
+
+func TestPlotCurves(t *testing.T) {
+	a := &Curve{Name: "LbChat"}
+	b := &Curve{Name: "DP"}
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i*60), 1/float64(i+1))
+		b.Add(float64(i*60), 1.5/float64(i+1))
+	}
+	out := PlotCurves(40, 10, a, b)
+	if !strings.Contains(out, "LbChat") || !strings.Contains(out, "DP") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("marks missing:\n%s", out)
+	}
+	if PlotCurves(2, 1) != "" {
+		t.Error("degenerate plot should be empty")
+	}
+	empty := &Curve{Name: "empty"}
+	if PlotCurves(40, 10, empty) != "" {
+		t.Error("empty curve should produce empty plot")
+	}
+}

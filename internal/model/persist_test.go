@@ -1,0 +1,56 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"lbchat/internal/simrand"
+)
+
+func TestMarshalRoundTrip(t *testing.T) {
+	cfg := tinyConfig()
+	pol, _ := New(cfg, 3)
+	rng := simrand.New(9)
+	data := syntheticSet(cfg, 64, rng)
+	for i := 0; i < 50; i++ {
+		pol.TrainStep(data)
+	}
+	blob, err := pol.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := New(cfg, 99)
+	if err := fresh.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	// float32 wire precision: losses match to ~1e-6 relative.
+	a, b := pol.Loss(data), fresh.Loss(data)
+	if math.Abs(a-b) > 1e-5*(1+math.Abs(a)) {
+		t.Errorf("loaded policy loss %v, want %v", b, a)
+	}
+}
+
+func TestUnmarshalRejectsMismatch(t *testing.T) {
+	cfg := tinyConfig()
+	pol, _ := New(cfg, 3)
+	blob, _ := pol.MarshalBinary()
+
+	other := cfg
+	other.Hidden = 24
+	wrong, _ := New(other, 3)
+	if err := wrong.UnmarshalBinary(blob); err == nil {
+		t.Error("architecture mismatch accepted")
+	}
+	if err := pol.UnmarshalBinary(blob[:10]); err == nil {
+		t.Error("truncated blob accepted")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] ^= 0xFF
+	if err := pol.UnmarshalBinary(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	cut := append([]byte(nil), blob[:len(blob)-4]...)
+	if err := pol.UnmarshalBinary(cut); err == nil {
+		t.Error("short parameter payload accepted")
+	}
+}

@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"math"
+
+	"lbchat/internal/simrand"
+	"lbchat/internal/tensor"
+)
+
+// Conv2D is a 2D convolution over CHW images flattened into rows of a
+// (batch, C*H*W) activation tensor. Convolution is computed per sample via
+// im2col + matmul.
+type Conv2D struct {
+	InC, InH, InW       int
+	OutC                int
+	Kernel, Stride, Pad int
+	OutH, OutW          int
+
+	W *Param // (OutC, InC*Kernel*Kernel)
+	B *Param // (OutC)
+
+	cols []*tensor.Dense // cached im2col matrices per sample
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D creates a convolution layer with He-uniform initialization.
+func NewConv2D(name string, inC, inH, inW, outC, kernel, stride, pad int, rng *simrand.Rand) *Conv2D {
+	c := &Conv2D{
+		InC: inC, InH: inH, InW: inW,
+		OutC:   outC,
+		Kernel: kernel, Stride: stride, Pad: pad,
+		OutH: (inH+2*pad-kernel)/stride + 1,
+		OutW: (inW+2*pad-kernel)/stride + 1,
+		W:    NewParam(name+".W", outC, inC*kernel*kernel),
+		B:    NewParam(name+".b", outC),
+	}
+	fanIn := float64(inC * kernel * kernel)
+	bound := math.Sqrt(6.0 / fanIn)
+	wd := c.W.Value.Data()
+	for i := range wd {
+		wd[i] = rng.Uniform(-bound, bound)
+	}
+	return c
+}
+
+// OutSize returns the flattened per-sample output size.
+func (c *Conv2D) OutSize() int { return c.OutC * c.OutH * c.OutW }
+
+// InSize returns the flattened per-sample input size.
+func (c *Conv2D) InSize() int { return c.InC * c.InH * c.InW }
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Dense) *tensor.Dense {
+	batch := x.Shape()[0]
+	out := tensor.New(batch, c.OutSize())
+	c.cols = c.cols[:0]
+	spatial := c.OutH * c.OutW
+	for s := 0; s < batch; s++ {
+		img := tensor.FromSlice(x.Data()[s*c.InSize():(s+1)*c.InSize()], c.InC, c.InH, c.InW)
+		cols := tensor.Im2Col(img, c.Kernel, c.Stride, c.Pad) // (spatial, inC*k*k)
+		c.cols = append(c.cols, cols)
+		// y = cols · Wᵀ  → (spatial, outC), stored transposed as CHW.
+		y := tensor.New(spatial, c.OutC)
+		tensor.MatMulTransBInto(y, cols, c.W.Value)
+		od := out.Data()[s*c.OutSize() : (s+1)*c.OutSize()]
+		yd := y.Data()
+		bd := c.B.Value.Data()
+		for pos := 0; pos < spatial; pos++ {
+			for ch := 0; ch < c.OutC; ch++ {
+				od[ch*spatial+pos] = yd[pos*c.OutC+ch] + bd[ch]
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Dense) *tensor.Dense {
+	batch := grad.Shape()[0]
+	dx := tensor.New(batch, c.InSize())
+	spatial := c.OutH * c.OutW
+	wg := c.W.Grad
+	bg := c.B.Grad.Data()
+	for s := 0; s < batch; s++ {
+		gd := grad.Data()[s*c.OutSize() : (s+1)*c.OutSize()]
+		// Reassemble grad as (spatial, outC).
+		g := tensor.New(spatial, c.OutC)
+		gdM := g.Data()
+		for ch := 0; ch < c.OutC; ch++ {
+			for pos := 0; pos < spatial; pos++ {
+				gdM[pos*c.OutC+ch] = gd[ch*spatial+pos]
+				bg[ch] += gd[ch*spatial+pos]
+			}
+		}
+		// dW += gᵀ · cols → (outC, inC*k*k)
+		dW := tensor.New(c.OutC, c.InC*c.Kernel*c.Kernel)
+		tensor.MatMulTransAInto(dW, g, c.cols[s])
+		wg.AddInPlace(dW)
+		// dCols = g · W → (spatial, inC*k*k), then scatter back to image.
+		dCols := tensor.New(spatial, c.InC*c.Kernel*c.Kernel)
+		tensor.MatMulInto(dCols, g, c.W.Value)
+		dImg := tensor.Col2Im(dCols, c.InC, c.InH, c.InW, c.Kernel, c.Stride, c.Pad)
+		copy(dx.Data()[s*c.InSize():(s+1)*c.InSize()], dImg.Data())
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() ParamSet { return ParamSet{c.W, c.B} }

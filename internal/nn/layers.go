@@ -1,0 +1,206 @@
+package nn
+
+import (
+	"math"
+
+	"lbchat/internal/simrand"
+	"lbchat/internal/tensor"
+)
+
+// Layer is a differentiable module operating on batched activations shaped
+// (batch, features). Forward caches whatever Backward needs; a layer instance
+// therefore serves one forward/backward pair at a time and is not safe for
+// concurrent use.
+type Layer interface {
+	// Forward computes the layer output for a batch of inputs.
+	Forward(x *tensor.Dense) *tensor.Dense
+	// Backward receives dLoss/dOutput and returns dLoss/dInput, accumulating
+	// parameter gradients along the way.
+	Backward(grad *tensor.Dense) *tensor.Dense
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() ParamSet
+}
+
+// Dense is a fully connected layer: y = x·W + b.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+
+	x *tensor.Dense // cached input
+}
+
+var _ Layer = (*Dense)(nil)
+
+// NewDense creates a fully connected layer with He-uniform initialization.
+func NewDense(name string, in, out int, rng *simrand.Rand) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   NewParam(name+".W", in, out),
+		B:   NewParam(name+".b", out),
+	}
+	bound := math.Sqrt(6.0 / float64(in))
+	wd := d.W.Value.Data()
+	for i := range wd {
+		wd[i] = rng.Uniform(-bound, bound)
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Dense) *tensor.Dense {
+	d.x = x
+	batch := x.Shape()[0]
+	out := tensor.New(batch, d.Out)
+	tensor.MatMulInto(out, x, d.W.Value)
+	bd := d.B.Value.Data()
+	od := out.Data()
+	for i := 0; i < batch; i++ {
+		row := od[i*d.Out : (i+1)*d.Out]
+		for j, bv := range bd {
+			row[j] += bv
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Dense) *tensor.Dense {
+	batch := grad.Shape()[0]
+	// dW += xᵀ·grad
+	wGrad := tensor.New(d.In, d.Out)
+	tensor.MatMulTransAInto(wGrad, d.x, grad)
+	d.W.Grad.AddInPlace(wGrad)
+	// db += column sums of grad
+	bg := d.B.Grad.Data()
+	gd := grad.Data()
+	for i := 0; i < batch; i++ {
+		row := gd[i*d.Out : (i+1)*d.Out]
+		for j, gv := range row {
+			bg[j] += gv
+		}
+	}
+	// dx = grad·Wᵀ
+	dx := tensor.New(batch, d.In)
+	tensor.MatMulTransBInto(dx, grad, d.W.Value)
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dense) Params() ParamSet { return ParamSet{d.W, d.B} }
+
+// ReLU is the rectified-linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU creates a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
+	out := x.Clone()
+	od := out.Data()
+	if cap(r.mask) < len(od) {
+		r.mask = make([]bool, len(od))
+	}
+	r.mask = r.mask[:len(od)]
+	for i, v := range od {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			od[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Dense) *tensor.Dense {
+	out := grad.Clone()
+	od := out.Data()
+	for i := range od {
+		if !r.mask[i] {
+			od[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() ParamSet { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	y *tensor.Dense
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// NewTanh creates a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Dense) *tensor.Dense {
+	out := x.Clone()
+	od := out.Data()
+	for i, v := range od {
+		od[i] = math.Tanh(v)
+	}
+	t.y = out
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *tensor.Dense) *tensor.Dense {
+	out := grad.Clone()
+	od := out.Data()
+	yd := t.y.Data()
+	for i := range od {
+		od[i] *= 1 - yd[i]*yd[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() ParamSet { return nil }
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+var _ Layer = (*Sequential)(nil)
+
+// NewSequential builds a sequential container from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *tensor.Dense) *tensor.Dense {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *tensor.Dense) *tensor.Dense {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() ParamSet {
+	var ps ParamSet
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}

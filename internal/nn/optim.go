@@ -1,0 +1,121 @@
+package nn
+
+import "math"
+
+// Optimizer applies accumulated gradients to a parameter set.
+type Optimizer interface {
+	// Step applies one update using the parameters' current gradients.
+	Step(params ParamSet)
+}
+
+// SGD is stochastic gradient descent with optional momentum and weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param][]float64
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay}
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params ParamSet) {
+	if o.velocity == nil && o.Momentum != 0 {
+		o.velocity = make(map[*Param][]float64, len(params))
+	}
+	for _, p := range params {
+		vd := p.Value.Data()
+		gd := p.Grad.Data()
+		if o.Momentum == 0 {
+			for i := range vd {
+				g := gd[i] + o.WeightDecay*vd[i]
+				vd[i] -= o.LR * g
+			}
+			continue
+		}
+		vel := o.velocity[p]
+		if vel == nil {
+			vel = make([]float64, len(vd))
+			o.velocity[p] = vel
+		}
+		for i := range vd {
+			g := gd[i] + o.WeightDecay*vd[i]
+			vel[i] = o.Momentum*vel[i] + g
+			vd[i] -= o.LR * vel[i]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam creates an Adam optimizer with the standard default moments
+// (β1 = 0.9, β2 = 0.999, ε = 1e-8).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params ParamSet) {
+	if o.m == nil {
+		o.m = make(map[*Param][]float64, len(params))
+		o.v = make(map[*Param][]float64, len(params))
+	}
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		vd := p.Value.Data()
+		gd := p.Grad.Data()
+		m := o.m[p]
+		v := o.v[p]
+		if m == nil {
+			m = make([]float64, len(vd))
+			v = make([]float64, len(vd))
+			o.m[p] = m
+			o.v[p] = v
+		}
+		for i := range vd {
+			g := gd[i] + o.WeightDecay*vd[i]
+			m[i] = o.Beta1*m[i] + (1-o.Beta1)*g
+			v[i] = o.Beta2*v[i] + (1-o.Beta2)*g*g
+			mHat := m[i] / bc1
+			vHat := v[i] / bc2
+			vd[i] -= o.LR * mHat / (math.Sqrt(vHat) + o.Eps)
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so their joint L2 norm is at most
+// maxNorm, returning the pre-clip norm.
+func ClipGradNorm(params ParamSet, maxNorm float64) float64 {
+	var acc float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data() {
+			acc += g * g
+		}
+	}
+	norm := math.Sqrt(acc)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.ScaleInPlace(scale)
+		}
+	}
+	return norm
+}

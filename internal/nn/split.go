@@ -1,0 +1,66 @@
+package nn
+
+import "lbchat/internal/tensor"
+
+// SplitTail wraps an inner layer so that the last Tail input columns bypass
+// it: the inner layer processes columns [0, in−Tail) and the bypassed
+// columns are concatenated after its output. Used to route the BEV through
+// a convolutional front-end while the ego-speed scalar joins the dense
+// trunk directly.
+type SplitTail struct {
+	Inner Layer
+	Tail  int
+
+	tailCache *tensor.Dense
+}
+
+var _ Layer = (*SplitTail)(nil)
+
+// NewSplitTail wraps inner with a tail bypass of the given width.
+func NewSplitTail(inner Layer, tail int) *SplitTail {
+	return &SplitTail{Inner: inner, Tail: tail}
+}
+
+// Forward implements Layer.
+func (s *SplitTail) Forward(x *tensor.Dense) *tensor.Dense {
+	batch, cols := x.Shape()[0], x.Shape()[1]
+	headCols := cols - s.Tail
+	head := tensor.New(batch, headCols)
+	tail := tensor.New(batch, s.Tail)
+	for b := 0; b < batch; b++ {
+		row := x.Data()[b*cols : (b+1)*cols]
+		copy(head.Data()[b*headCols:(b+1)*headCols], row[:headCols])
+		copy(tail.Data()[b*s.Tail:(b+1)*s.Tail], row[headCols:])
+	}
+	s.tailCache = tail
+	innerOut := s.Inner.Forward(head)
+	outCols := innerOut.Shape()[1] + s.Tail
+	out := tensor.New(batch, outCols)
+	for b := 0; b < batch; b++ {
+		copy(out.Data()[b*outCols:], innerOut.Data()[b*innerOut.Shape()[1]:(b+1)*innerOut.Shape()[1]])
+		copy(out.Data()[b*outCols+innerOut.Shape()[1]:], tail.Data()[b*s.Tail:(b+1)*s.Tail])
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (s *SplitTail) Backward(grad *tensor.Dense) *tensor.Dense {
+	batch, outCols := grad.Shape()[0], grad.Shape()[1]
+	innerCols := outCols - s.Tail
+	innerGrad := tensor.New(batch, innerCols)
+	for b := 0; b < batch; b++ {
+		copy(innerGrad.Data()[b*innerCols:(b+1)*innerCols], grad.Data()[b*outCols:b*outCols+innerCols])
+	}
+	dHead := s.Inner.Backward(innerGrad)
+	headCols := dHead.Shape()[1]
+	inCols := headCols + s.Tail
+	dx := tensor.New(batch, inCols)
+	for b := 0; b < batch; b++ {
+		copy(dx.Data()[b*inCols:b*inCols+headCols], dHead.Data()[b*headCols:(b+1)*headCols])
+		copy(dx.Data()[b*inCols+headCols:(b+1)*inCols], grad.Data()[b*outCols+innerCols:(b+1)*outCols])
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (s *SplitTail) Params() ParamSet { return s.Inner.Params() }

@@ -1,0 +1,190 @@
+// Package optimize solves the Eq. (7) compression-ratio optimization: given
+// the coreset-based value assessments of two encountered vehicles' models
+// and the fitted φ curves predicting compressed-model losses, choose the
+// per-direction compression levels (ψ_i, ψ_j) maximizing the joint exchange
+// gain under the contact-time and bandwidth constraints.
+//
+// Sign convention (see DESIGN.md "intent-vs-text corrections"): a vehicle's
+// gain from receiving the peer's model compressed at ψ is
+//
+//	ReLU( f(x_self; C_peer) − φ_peer(ψ) )
+//
+// — positive exactly when the peer's (compressed) model explains the peer's
+// data better than the receiver's own model does, which is the "value"
+// semantics of §III-C. The third term rewards unused exchange time so
+// uninterested vehicles decouple quickly.
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"lbchat/internal/interp"
+)
+
+// PhiCurve is the fitted mapping φ from compression level ψ to the model's
+// predicted loss on a coreset. It is built from sampled
+// (ψ_k, f(x̂^{ψ_k}; C)) pairs via Akima interpolation, as the paper
+// prescribes (its reference [21]).
+type PhiCurve struct {
+	spline  *interp.Akima
+	minPsi  float64
+	maxPsi  float64
+	minLoss float64
+}
+
+// FitPhi fits a φ curve through sampled (ψ, loss) pairs. ψ = 0 pairs are
+// excluded automatically (no model is received at ψ = 0; the solver treats
+// that case specially). At least two distinct positive-ψ samples are needed.
+func FitPhi(psis, losses []float64) (*PhiCurve, error) {
+	if len(psis) != len(losses) {
+		return nil, fmt.Errorf("optimize: %d psis vs %d losses", len(psis), len(losses))
+	}
+	var xs, ys []float64
+	for i, p := range psis {
+		if p > 0 {
+			xs = append(xs, p)
+			ys = append(ys, losses[i])
+		}
+	}
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("optimize: need ≥2 positive-ψ samples, got %d", len(xs))
+	}
+	sp, err := interp.NewAkima(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("optimize: fitting φ: %w", err)
+	}
+	knots := sp.Knots()
+	minLoss := ys[0]
+	for _, y := range ys[1:] {
+		if y < minLoss {
+			minLoss = y
+		}
+	}
+	if minLoss < 0 {
+		minLoss = 0
+	}
+	return &PhiCurve{spline: sp, minPsi: knots[0], maxPsi: knots[len(knots)-1], minLoss: minLoss}, nil
+}
+
+// Predict returns the predicted loss at compression level ψ. ψ is clamped
+// to the sampled range (losses outside it are not extrapolated, avoiding
+// runaway cubic tails) and the prediction is floored at the minimum sampled
+// loss: a cubic can undershoot between steep knots, and predicting a
+// compressed model to outperform the best measured variant would fabricate
+// exchange gains out of interpolation noise.
+func (c *PhiCurve) Predict(psi float64) float64 {
+	if psi < c.minPsi {
+		psi = c.minPsi
+	}
+	if psi > c.maxPsi {
+		psi = c.maxPsi
+	}
+	v := c.spline.Eval(psi)
+	if v < c.minLoss {
+		return c.minLoss
+	}
+	return v
+}
+
+// Problem is one Eq. (7) instance between a "self" and a "peer" vehicle.
+type Problem struct {
+	// PhiSelf predicts f(x̂_self^ψ; C_self): the self model compressed at ψ
+	// evaluated on the self coreset. The peer's gain derives from it.
+	PhiSelf *PhiCurve
+	// PhiPeer predicts f(x̂_peer^ψ; C_peer); the self gain derives from it.
+	PhiPeer *PhiCurve
+	// LossSelfOnPeer is f(x_self; C_peer), the self model evaluated on the
+	// peer's coreset.
+	LossSelfOnPeer float64
+	// LossPeerOnSelf is f(x_peer; C_self).
+	LossPeerOnSelf float64
+	// ModelBytes is the uncompressed model wire size S.
+	ModelBytes int
+	// MinBandwidthBps is min{B_i, B_j} in bits/s.
+	MinBandwidthBps float64
+	// TimeBudget is T_B (s) and ContactTime the estimated contact duration.
+	TimeBudget  float64
+	ContactTime float64
+	// LambdaC weights the time-saved award term (loss units per second).
+	LambdaC float64
+	// GridStep is the ψ search resolution (default 0.02).
+	GridStep float64
+}
+
+// Solution is the optimizer's output.
+type Solution struct {
+	// PsiSelf is the compression level for the model the SELF vehicle
+	// sends; PsiPeer for the model it receives.
+	PsiSelf, PsiPeer float64
+	// Objective is the achieved Eq. (7) value.
+	Objective float64
+	// TransferTime is T_c at the optimum (s).
+	TransferTime float64
+	// GainSelf is the self's expected gain from receiving the peer model;
+	// GainPeer the peer's expected gain from receiving the self model.
+	GainSelf, GainPeer float64
+}
+
+func relu(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Solve maximizes Eq. (7) by grid search over (ψ_self, ψ_peer) ∈ [0, 1]²
+// subject to T_c ≤ min{T_B, T_contact}. The objective is piecewise smooth in
+// each variable and the grid is tiny, so exhaustive search is both exact
+// enough and fast (≈2600 spline evaluations at the default resolution).
+func Solve(p Problem) Solution {
+	step := p.GridStep
+	if step <= 0 {
+		step = 0.02
+	}
+	window := math.Min(p.TimeBudget, p.ContactTime)
+	best := Solution{PsiSelf: 0, PsiPeer: 0, Objective: p.LambdaC * window}
+
+	if p.ModelBytes <= 0 || p.MinBandwidthBps <= 0 || window <= 0 {
+		return best
+	}
+	timePerPsi := float64(p.ModelBytes) * 8 / p.MinBandwidthBps // seconds per unit ψ
+
+	gainSelf := func(psiPeer float64) float64 {
+		if psiPeer == 0 || p.PhiPeer == nil {
+			return 0
+		}
+		return relu(p.LossSelfOnPeer - p.PhiPeer.Predict(psiPeer))
+	}
+	gainPeer := func(psiSelf float64) float64 {
+		if psiSelf == 0 || p.PhiSelf == nil {
+			return 0
+		}
+		return relu(p.LossPeerOnSelf - p.PhiSelf.Predict(psiSelf))
+	}
+
+	steps := int(1/step) + 1
+	for a := 0; a < steps; a++ {
+		psiSelf := math.Min(1, float64(a)*step)
+		gp := gainPeer(psiSelf)
+		for b := 0; b < steps; b++ {
+			psiPeer := math.Min(1, float64(b)*step)
+			tc := (psiSelf + psiPeer) * timePerPsi
+			if tc > window {
+				break // ψ_peer only grows within this row
+			}
+			obj := gainSelf(psiPeer) + gp + p.LambdaC*(window-tc)
+			if obj > best.Objective {
+				best = Solution{
+					PsiSelf:      psiSelf,
+					PsiPeer:      psiPeer,
+					Objective:    obj,
+					TransferTime: tc,
+					GainSelf:     gainSelf(psiPeer),
+					GainPeer:     gp,
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,266 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"lbchat/internal/simrand"
+)
+
+func TestLossTableMonotone(t *testing.T) {
+	lt := DefaultLossTable()
+	prev := -1.0
+	for d := 0.0; d <= 600; d += 10 {
+		per := lt.At(d)
+		if per < prev {
+			t.Fatalf("loss table not monotone at %vm: %v < %v", d, per, prev)
+		}
+		if per < 0 || per > 1 {
+			t.Fatalf("PER %v out of range at %vm", per, d)
+		}
+		prev = per
+	}
+	if lt.At(10_000) != 1 {
+		t.Error("beyond table should lose everything")
+	}
+	if lt.At(-5) != lt.At(0) {
+		t.Error("negative distance should clamp to zero")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultParams()
+	bad.PacketSizeBytes = 0
+	if bad.Validate() == nil {
+		t.Error("zero packet size accepted")
+	}
+	bad = DefaultParams()
+	bad.MaxTransmissions = 0
+	if bad.Validate() == nil {
+		t.Error("zero transmission budget accepted")
+	}
+}
+
+func TestLosslessMode(t *testing.T) {
+	m := NewModel(true)
+	if got := m.PacketDeliveryProb(400); got != 1 {
+		t.Errorf("lossless delivery prob = %v", got)
+	}
+	// Range still applies even without loss.
+	if got := m.PacketDeliveryProb(10_000); got != 0 {
+		t.Errorf("out-of-range delivery prob = %v", got)
+	}
+}
+
+func TestPacketDeliveryImprovedByRetransmission(t *testing.T) {
+	m := NewModel(false)
+	single := Model{Params: m.Params, Table: m.Table}
+	single.Params.MaxTransmissions = 1
+	d := 300.0
+	if m.PacketDeliveryProb(d) <= single.PacketDeliveryProb(d) {
+		t.Error("retransmissions did not improve delivery")
+	}
+}
+
+func TestExpectedAttemptsBounds(t *testing.T) {
+	m := NewModel(false)
+	for d := 0.0; d <= 500; d += 50 {
+		a := m.ExpectedAttempts(d)
+		if a < 1 || a > float64(m.Params.MaxTransmissions) {
+			t.Fatalf("attempts %v out of [1, %d] at %vm", a, m.Params.MaxTransmissions, d)
+		}
+	}
+	if got := m.ExpectedAttempts(10_000); got != float64(m.Params.MaxTransmissions) {
+		t.Errorf("out-of-range attempts = %v", got)
+	}
+}
+
+func TestNumPackets(t *testing.T) {
+	m := NewModel(false)
+	if m.NumPackets(0) != 0 || m.NumPackets(-5) != 0 {
+		t.Error("non-positive payload packets")
+	}
+	if m.NumPackets(1) != 1 || m.NumPackets(1500) != 1 || m.NumPackets(1501) != 2 {
+		t.Error("packet rounding wrong")
+	}
+}
+
+func TestTransferTimeScaling(t *testing.T) {
+	m := NewModel(true)
+	base := m.TransferTime(1_000_000, 0, 31e6)
+	double := m.TransferTime(2_000_000, 0, 31e6)
+	if math.Abs(double-2*base) > 0.02*base {
+		t.Errorf("transfer time not linear in size: %v vs %v", base, double)
+	}
+	slower := m.TransferTime(1_000_000, 0, 15.5e6)
+	if math.Abs(slower-2*base) > 0.02*base {
+		t.Errorf("transfer time not inverse in bandwidth")
+	}
+	if !math.IsInf(m.TransferTime(100, 0, 0), 1) {
+		t.Error("zero bandwidth should be infinite")
+	}
+	if m.TransferTime(0, 0, 31e6) != 0 {
+		t.Error("empty payload should be instant")
+	}
+	// The paper's headline number: a 52 MB model at 31 Mbps ≈ 13.4 s.
+	if got := m.TransferTime(52_000_000, 0, 31e6); math.Abs(got-13.42) > 0.3 {
+		t.Errorf("52MB @ 31Mbps = %vs, want ≈13.4", got)
+	}
+}
+
+func TestMessageSuccessProbMonotone(t *testing.T) {
+	m := NewModel(false)
+	const bytes = 600_000 // a coreset
+	prev := 2.0
+	for d := 0.0; d <= 500; d += 50 {
+		p := m.MessageSuccessProb(bytes, d)
+		if p > prev+1e-12 {
+			t.Fatalf("success prob not decreasing in distance at %vm", d)
+		}
+		prev = p
+	}
+	// Larger payloads are harder to land.
+	if m.MessageSuccessProb(52_000_000, 250) >= m.MessageSuccessProb(600_000, 250) {
+		t.Error("bigger payload should be less likely to succeed")
+	}
+	if m.MessageSuccessProb(0, 250) != 1 {
+		t.Error("empty payload should always succeed")
+	}
+}
+
+func TestSimulateTransferCompletesCloseRange(t *testing.T) {
+	m := NewModel(false)
+	rng := simrand.New(1)
+	res := m.SimulateTransfer(600_000, func(float64) float64 { return 20 }, 31e6, 30, rng)
+	if !res.Completed {
+		t.Fatalf("close-range coreset transfer failed: %+v", res)
+	}
+	if res.Elapsed <= 0 || res.Elapsed > 2 {
+		t.Errorf("elapsed = %v, want ≈0.16s", res.Elapsed)
+	}
+	if res.BytesDelivered < 600_000 {
+		t.Errorf("delivered %d bytes", res.BytesDelivered)
+	}
+}
+
+func TestSimulateTransferFailsFarRange(t *testing.T) {
+	m := NewModel(false)
+	fails := 0
+	for i := 0; i < 20; i++ {
+		rng := simrand.New(uint64(i))
+		res := m.SimulateTransfer(52_000_000, func(float64) float64 { return 480 }, 31e6, 60, rng)
+		if !res.Completed {
+			fails++
+		}
+	}
+	if fails < 18 {
+		t.Errorf("far-range 52MB transfers succeeded too often: %d/20 failed", fails)
+	}
+}
+
+func TestSimulateTransferDeadline(t *testing.T) {
+	m := NewModel(true)
+	rng := simrand.New(2)
+	res := m.SimulateTransfer(52_000_000, func(float64) float64 { return 10 }, 31e6, 5, rng)
+	if res.Completed {
+		t.Error("transfer needing 13s completed within 5s deadline")
+	}
+	if res.Elapsed > 5+1e-9 {
+		t.Errorf("elapsed %v exceeds deadline", res.Elapsed)
+	}
+	if res.BytesDelivered <= 0 {
+		t.Error("partial transfer delivered nothing")
+	}
+}
+
+func TestSimulateTransferOutOfRange(t *testing.T) {
+	m := NewModel(false)
+	rng := simrand.New(3)
+	res := m.SimulateTransfer(1000, func(float64) float64 { return 600 }, 31e6, 10, rng)
+	if res.Completed {
+		t.Error("out-of-range transfer completed")
+	}
+}
+
+func TestContactPriority(t *testing.T) {
+	if got := ContactPriority(30, 15); got != 1 {
+		t.Errorf("long contact priority = %v", got)
+	}
+	if got := ContactPriority(7.5, 15); got != 0.5 {
+		t.Errorf("half contact priority = %v", got)
+	}
+	if got := ContactPriority(10, 0); got != 0 {
+		t.Errorf("zero budget priority = %v", got)
+	}
+}
+
+func TestScoreOrdersPairsSensibly(t *testing.T) {
+	m := NewModel(false)
+	base := PriorityInputs{
+		ContactDuration: 30,
+		Distance:        50,
+		BandwidthA:      31e6,
+		BandwidthB:      31e6,
+		PayloadBytes:    600_000,
+		TimeBudget:      15,
+	}
+	near := m.Score(base)
+	far := base
+	far.Distance = 450
+	if m.Score(far) >= near {
+		t.Error("distant pair scored no lower")
+	}
+	short := base
+	short.ContactDuration = 2
+	if m.Score(short) >= near {
+		t.Error("brief contact scored no lower")
+	}
+	slow := base
+	slow.BandwidthB = 5e6
+	if m.Score(slow) >= near {
+		t.Error("slow pair scored no lower")
+	}
+}
+
+func TestScoreNormalized(t *testing.T) {
+	m := NewModel(true)
+	in := PriorityInputs{
+		ContactDuration: 1000,
+		Distance:        0,
+		BandwidthA:      m.Params.MaxBandwidthBps,
+		BandwidthB:      m.Params.MaxBandwidthBps,
+		PayloadBytes:    0,
+		TimeBudget:      15,
+	}
+	// Perfect link at max bandwidth scores exactly 1.
+	if got := m.Score(in); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect-link score = %v", got)
+	}
+	if AssistiveInfoBytes != 184 {
+		t.Errorf("assistive info size = %d, paper says 184", AssistiveInfoBytes)
+	}
+}
+
+func TestSimulateTransferInvariants(t *testing.T) {
+	m := NewModel(false)
+	for seed := uint64(0); seed < 40; seed++ {
+		rng := simrand.New(seed)
+		bytes := int(rng.Uniform(1, 60e6))
+		deadline := rng.Uniform(0.5, 30)
+		d0 := rng.Uniform(0, 550)
+		drift := rng.Uniform(-15, 15)
+		res := m.SimulateTransfer(bytes, func(el float64) float64 { return d0 + drift*el }, 25e6, deadline, rng)
+		if res.Elapsed < 0 || res.Elapsed > deadline+1e-9 {
+			t.Fatalf("seed %d: elapsed %v outside [0, %v]", seed, res.Elapsed, deadline)
+		}
+		if res.BytesDelivered < 0 || res.BytesDelivered > bytes+m.Params.PacketSizeBytes {
+			t.Fatalf("seed %d: delivered %d of %d", seed, res.BytesDelivered, bytes)
+		}
+		if res.Completed && res.BytesDelivered < bytes {
+			t.Fatalf("seed %d: completed but delivered only %d/%d", seed, res.BytesDelivered, bytes)
+		}
+	}
+}

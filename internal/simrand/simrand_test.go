@@ -1,0 +1,224 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 50; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("different seeds produced %d/50 identical draws", same)
+	}
+}
+
+func TestDeriveStable(t *testing.T) {
+	// Derivation must not depend on parent consumption.
+	a := New(7)
+	d1 := a.Derive("x").Float64()
+	b := New(7)
+	for i := 0; i < 10; i++ {
+		b.Float64()
+	}
+	d2 := b.Derive("x").Float64()
+	if d1 != d2 {
+		t.Error("Derive depends on parent consumption")
+	}
+}
+
+func TestDeriveIndependent(t *testing.T) {
+	r := New(7)
+	x := r.Derive("x").Float64()
+	y := r.Derive("y").Float64()
+	if x == y {
+		t.Error("differently named derived streams coincide")
+	}
+	i0 := r.DeriveIndexed("v", 0).Float64()
+	i1 := r.DeriveIndexed("v", 1).Float64()
+	if i0 == i1 {
+		t.Error("differently indexed derived streams coincide")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Uniform(-2,5) = %v out of bounds", v)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(3)
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	if r.Bernoulli(-0.5) {
+		t.Error("Bernoulli(-0.5) returned true")
+	}
+	if !r.Bernoulli(1.5) {
+		t.Error("Bernoulli(1.5) returned false")
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(11)
+	n, hits := 10000, 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	freq := float64(hits) / float64(n)
+	if math.Abs(freq-0.3) > 0.03 {
+		t.Errorf("Bernoulli(0.3) frequency = %.3f", freq)
+	}
+}
+
+func TestExponentialNonPositiveRate(t *testing.T) {
+	r := New(5)
+	if !math.IsInf(r.Exponential(0), 1) {
+		t.Error("Exponential(0) should be +Inf")
+	}
+}
+
+func TestWeightedIndexRespectsWeights(t *testing.T) {
+	r := New(9)
+	weights := []float64{0, 1, 3, 0}
+	counts := make([]int, 4)
+	for i := 0; i < 8000; i++ {
+		idx := r.WeightedIndex(weights)
+		if idx < 0 || idx >= 4 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Errorf("zero-weight indices sampled: %v", counts)
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Errorf("weight-3 vs weight-1 ratio = %.2f, want ≈3", ratio)
+	}
+}
+
+func TestWeightedIndexDegenerate(t *testing.T) {
+	r := New(9)
+	if idx := r.WeightedIndex(nil); idx != -1 {
+		t.Errorf("empty weights: got %d, want -1", idx)
+	}
+	if idx := r.WeightedIndex([]float64{0, -1}); idx != -1 {
+		t.Errorf("non-positive weights: got %d, want -1", idx)
+	}
+}
+
+func TestWeightedSampleWithoutReplacement(t *testing.T) {
+	r := New(13)
+	weights := []float64{1, 2, 3, 4, 5}
+	got := r.WeightedSampleWithoutReplacement(weights, 3)
+	if len(got) != 3 {
+		t.Fatalf("got %d indices, want 3", len(got))
+	}
+	seen := make(map[int]bool)
+	for _, idx := range got {
+		if idx < 0 || idx >= 5 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		if seen[idx] {
+			t.Fatalf("duplicate index %d", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestWeightedSampleAllWhenKExceeds(t *testing.T) {
+	r := New(13)
+	got := r.WeightedSampleWithoutReplacement([]float64{1, 0, 2}, 10)
+	if len(got) != 2 {
+		t.Fatalf("got %d indices, want 2 (only positive weights)", len(got))
+	}
+}
+
+func TestWeightedSampleBias(t *testing.T) {
+	// Heavier items must be selected more often when k < n.
+	r := New(17)
+	counts := make([]int, 3)
+	for trial := 0; trial < 4000; trial++ {
+		for _, idx := range r.WeightedSampleWithoutReplacement([]float64{1, 1, 10}, 1) {
+			counts[idx]++
+		}
+	}
+	if counts[2] < counts[0]+counts[1] {
+		t.Errorf("heavy item under-sampled: %v", counts)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50}
+	f := func(seed uint64) bool {
+		r := New(seed)
+		n := 1 + int(seed%20)
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSamplePropertyNoDuplicates(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	f := func(seed uint64, raw []float64) bool {
+		r := New(seed)
+		weights := make([]float64, len(raw))
+		for i, w := range raw {
+			weights[i] = math.Abs(w)
+		}
+		k := len(weights)/2 + 1
+		got := r.WeightedSampleWithoutReplacement(weights, k)
+		seen := map[int]bool{}
+		for _, idx := range got {
+			if idx < 0 || idx >= len(weights) || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+		}
+		return len(got) <= k
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package tensor
+
+// Im2Col lowers a CHW image into a matrix whose rows are receptive fields, so
+// convolution becomes a single matrix multiplication.
+//
+// Input is a (channels, height, width) tensor; output is a
+// (outH*outW, channels*kernel*kernel) matrix for the given kernel size,
+// stride, and zero padding.
+func Im2Col(img *Dense, kernel, stride, pad int) *Dense {
+	c, h, w := img.shape[0], img.shape[1], img.shape[2]
+	outH := (h+2*pad-kernel)/stride + 1
+	outW := (w+2*pad-kernel)/stride + 1
+	cols := New(outH*outW, c*kernel*kernel)
+	src := img.data
+	dst := cols.data
+	rowLen := c * kernel * kernel
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			base := (oy*outW + ox) * rowLen
+			for ch := 0; ch < c; ch++ {
+				for ky := 0; ky < kernel; ky++ {
+					iy := oy*stride + ky - pad
+					for kx := 0; kx < kernel; kx++ {
+						ix := ox*stride + kx - pad
+						di := base + (ch*kernel+ky)*kernel + kx
+						if iy < 0 || iy >= h || ix < 0 || ix >= w {
+							dst[di] = 0
+							continue
+						}
+						dst[di] = src[(ch*h+iy)*w+ix]
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters gradient columns back into an
+// image-shaped gradient, accumulating where receptive fields overlap.
+func Col2Im(cols *Dense, channels, height, width, kernel, stride, pad int) *Dense {
+	outH := (height+2*pad-kernel)/stride + 1
+	outW := (width+2*pad-kernel)/stride + 1
+	img := New(channels, height, width)
+	src := cols.data
+	dst := img.data
+	rowLen := channels * kernel * kernel
+	for oy := 0; oy < outH; oy++ {
+		for ox := 0; ox < outW; ox++ {
+			base := (oy*outW + ox) * rowLen
+			for ch := 0; ch < channels; ch++ {
+				for ky := 0; ky < kernel; ky++ {
+					iy := oy*stride + ky - pad
+					if iy < 0 || iy >= height {
+						continue
+					}
+					for kx := 0; kx < kernel; kx++ {
+						ix := ox*stride + kx - pad
+						if ix < 0 || ix >= width {
+							continue
+						}
+						dst[(ch*height+iy)*width+ix] += src[base+(ch*kernel+ky)*kernel+kx]
+					}
+				}
+			}
+		}
+	}
+	return img
+}

@@ -1,0 +1,98 @@
+package tensor
+
+import "fmt"
+
+// MatMul computes C = A·B for 2D tensors A (m×k) and B (k×n), writing into a
+// newly allocated m×n tensor.
+func MatMul(a, b *Dense) *Dense {
+	m, k := mustMatrix(a)
+	k2, n := mustMatrix(b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes dst = A·B, reusing dst's storage. dst must be m×n.
+func MatMulInto(dst, a, b *Dense) {
+	m, k := mustMatrix(a)
+	_, n := mustMatrix(b)
+	ad, bd, cd := a.data, b.data, dst.data
+	for i := range cd {
+		cd[i] = 0
+	}
+	// ikj loop order: streams through b and c rows sequentially.
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransAInto computes dst = Aᵀ·B where A is k×m and B is k×n;
+// dst must be m×n. Used for weight gradients.
+func MatMulTransAInto(dst, a, b *Dense) {
+	k, m := mustMatrix(a)
+	k2, n := mustMatrix(b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmulTransA inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	cd := dst.data
+	for i := range cd {
+		cd[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		arow := a.data[p*m : (p+1)*m]
+		brow := b.data[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			crow := cd[i*n : (i+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTransBInto computes dst = A·Bᵀ where A is m×k and B is n×k;
+// dst must be m×n. Used for input gradients.
+func MatMulTransBInto(dst, a, b *Dense) {
+	m, k := mustMatrix(a)
+	n, k2 := mustMatrix(b)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmulTransB inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	cd := dst.data
+	for i := 0; i < m; i++ {
+		arow := a.data[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.data[j*k : (j+1)*k]
+			var acc float64
+			for p, av := range arow {
+				acc += av * brow[p]
+			}
+			crow[j] = acc
+		}
+	}
+}
+
+func mustMatrix(t *Dense) (rows, cols int) {
+	if len(t.shape) != 2 {
+		panic(fmt.Sprintf("tensor: expected 2D tensor, got shape %v", t.shape))
+	}
+	return t.shape[0], t.shape[1]
+}

@@ -1,0 +1,201 @@
+// Package tensor implements the dense float64 tensors underlying the neural
+// network substrate. It is intentionally small: shapes, elementwise
+// arithmetic, matrix multiplication, and the im2col transform needed for
+// convolution — everything the driving model requires and nothing more.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a dense row-major tensor of float64 values.
+type Dense struct {
+	shape []int
+	data  []float64
+}
+
+// New allocates a zero-filled tensor with the given shape. Each dimension
+// must be positive.
+func New(shape ...int) *Dense {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Dense{shape: s, data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The data is NOT
+// copied; the caller must not alias it unexpectedly. The data length must
+// match the shape volume.
+func FromSlice(data []float64, shape ...int) *Dense {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Dense{shape: s, data: data}
+}
+
+// Shape returns the tensor's shape. The returned slice must not be mutated.
+func (t *Dense) Shape() []int { return t.shape }
+
+// Size returns the total number of elements.
+func (t *Dense) Size() int { return len(t.data) }
+
+// Data returns the underlying storage. Mutating it mutates the tensor.
+func (t *Dense) Data() []float64 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Dense) Clone() *Dense {
+	out := New(t.shape...)
+	copy(out.data, t.data)
+	return out
+}
+
+// Reshape returns a view of the same data with a new shape of equal volume.
+func (t *Dense) Reshape(shape ...int) *Dense {
+	return FromSlice(t.data, shape...)
+}
+
+// At returns the element at the given multi-index.
+func (t *Dense) At(idx ...int) float64 {
+	return t.data[t.offset(idx)]
+}
+
+// Set writes the element at the given multi-index.
+func (t *Dense) Set(v float64, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Dense) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, ix := range idx {
+		if ix < 0 || ix >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + ix
+	}
+	return off
+}
+
+// Zero sets every element to zero.
+func (t *Dense) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (t *Dense) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// AddInPlace adds other elementwise into t. Shapes must have equal volume.
+func (t *Dense) AddInPlace(other *Dense) {
+	assertSameSize(t, other)
+	for i, v := range other.data {
+		t.data[i] += v
+	}
+}
+
+// SubInPlace subtracts other elementwise from t.
+func (t *Dense) SubInPlace(other *Dense) {
+	assertSameSize(t, other)
+	for i, v := range other.data {
+		t.data[i] -= v
+	}
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Dense) ScaleInPlace(s float64) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AxpyInPlace computes t += alpha * other.
+func (t *Dense) AxpyInPlace(alpha float64, other *Dense) {
+	assertSameSize(t, other)
+	for i, v := range other.data {
+		t.data[i] += alpha * v
+	}
+}
+
+// Dot returns the inner product of t and other viewed as flat vectors.
+func (t *Dense) Dot(other *Dense) float64 {
+	assertSameSize(t, other)
+	var acc float64
+	for i, v := range t.data {
+		acc += v * other.data[i]
+	}
+	return acc
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Dense) L2Norm() float64 {
+	var acc float64
+	for _, v := range t.data {
+		acc += v * v
+	}
+	return math.Sqrt(acc)
+}
+
+// SumAbs returns the L1 norm of the flattened tensor.
+func (t *Dense) SumAbs() float64 {
+	var acc float64
+	for _, v := range t.data {
+		acc += math.Abs(v)
+	}
+	return acc
+}
+
+// MaxAbs returns the maximum absolute element, or 0 for an empty tensor.
+func (t *Dense) MaxAbs() float64 {
+	var m float64
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Equal reports whether two tensors have identical shapes and elementwise
+// differences at most tol.
+func Equal(a, b *Dense, tol float64) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func assertSameSize(a, b *Dense) {
+	if len(a.data) != len(b.data) {
+		panic(fmt.Sprintf("tensor: size mismatch %v vs %v", a.shape, b.shape))
+	}
+}

@@ -1,0 +1,122 @@
+// Package trace records and replays vehicle mobility: position snapshots at
+// a fixed frame rate, encounter detection within radio range, and
+// contact-duration estimation from shared future routes — the "assistive
+// information" of Eq. (5).
+//
+// The paper runs its CARLA world for 120 hours and records expert positions
+// at 2 fps; we generate traces the same way from internal/world.
+package trace
+
+import (
+	"fmt"
+
+	"lbchat/internal/geom"
+	"lbchat/internal/world"
+)
+
+// Trace holds the positions of n vehicles over time at a fixed tick
+// interval.
+type Trace struct {
+	// DT is the tick interval in seconds.
+	DT float64
+	// Positions[t][v] is the position of vehicle v at tick t.
+	Positions [][]geom.Point
+}
+
+// Record steps the world for ticks intervals of dt seconds, recording expert
+// positions each tick. The world is advanced in place.
+func Record(w *world.World, ticks int, dt float64) *Trace {
+	tr := &Trace{DT: dt, Positions: make([][]geom.Point, 0, ticks)}
+	for t := 0; t < ticks; t++ {
+		w.Step(dt)
+		snap := make([]geom.Point, len(w.Experts))
+		for i, v := range w.Experts {
+			snap[i] = v.Pos()
+		}
+		tr.Positions = append(tr.Positions, snap)
+	}
+	return tr
+}
+
+// NumTicks returns the number of recorded ticks.
+func (tr *Trace) NumTicks() int { return len(tr.Positions) }
+
+// NumVehicles returns the vehicle count (0 for an empty trace).
+func (tr *Trace) NumVehicles() int {
+	if len(tr.Positions) == 0 {
+		return 0
+	}
+	return len(tr.Positions[0])
+}
+
+// Duration returns the trace's covered time span in seconds.
+func (tr *Trace) Duration() float64 { return float64(len(tr.Positions)) * tr.DT }
+
+// At returns the position of vehicle v at time t (clamped to the trace
+// extent, snapped to the nearest tick).
+func (tr *Trace) At(v int, t float64) geom.Point {
+	if len(tr.Positions) == 0 {
+		return geom.Point{}
+	}
+	tick := int(t / tr.DT)
+	if tick < 0 {
+		tick = 0
+	}
+	if tick >= len(tr.Positions) {
+		tick = len(tr.Positions) - 1
+	}
+	return tr.Positions[tick][v]
+}
+
+// Distance returns the distance between vehicles a and b at time t.
+func (tr *Trace) Distance(a, b int, t float64) float64 {
+	return tr.At(a, t).Dist(tr.At(b, t))
+}
+
+// Neighbors returns the vehicles within commRange of vehicle v at time t.
+func (tr *Trace) Neighbors(v int, t float64, commRange float64) []int {
+	var out []int
+	for o := 0; o < tr.NumVehicles(); o++ {
+		if o == v {
+			continue
+		}
+		if tr.Distance(v, o, t) <= commRange {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// ContactDuration estimates how long vehicles a and b will remain within
+// commRange starting from time t, by replaying their shared future routes
+// (the paper's vehicles exchange their next-few-minutes routes from the
+// navigation service). The estimate is capped at horizon seconds.
+func (tr *Trace) ContactDuration(a, b int, t, commRange, horizon float64) float64 {
+	if tr.Distance(a, b, t) > commRange {
+		return 0
+	}
+	end := t + horizon
+	if traceEnd := tr.Duration(); end > traceEnd {
+		end = traceEnd
+	}
+	for u := t; u < end; u += tr.DT {
+		if tr.Distance(a, b, u) > commRange {
+			return u - t
+		}
+	}
+	return end - t
+}
+
+// Validate performs basic structural checks.
+func (tr *Trace) Validate() error {
+	if tr.DT <= 0 {
+		return fmt.Errorf("trace: non-positive tick interval %g", tr.DT)
+	}
+	n := tr.NumVehicles()
+	for t, snap := range tr.Positions {
+		if len(snap) != n {
+			return fmt.Errorf("trace: tick %d has %d vehicles, expected %d", t, len(snap), n)
+		}
+	}
+	return nil
+}

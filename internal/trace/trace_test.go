@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"lbchat/internal/simrand"
+	"lbchat/internal/world"
+)
+
+func record(t *testing.T, vehicles, ticks int) *Trace {
+	t.Helper()
+	m, err := world.NewMap(world.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := world.New(m, world.SpawnConfig{Experts: vehicles}, simrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Record(w, ticks, 0.5)
+}
+
+func TestRecordShape(t *testing.T) {
+	tr := record(t, 3, 40)
+	if tr.NumTicks() != 40 {
+		t.Errorf("ticks = %d", tr.NumTicks())
+	}
+	if tr.NumVehicles() != 3 {
+		t.Errorf("vehicles = %d", tr.NumVehicles())
+	}
+	if tr.Duration() != 20 {
+		t.Errorf("duration = %v", tr.Duration())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := record(t, 2, 10)
+	tr.Positions[3] = tr.Positions[3][:1]
+	if tr.Validate() == nil {
+		t.Error("ragged snapshot accepted")
+	}
+	tr2 := &Trace{DT: 0}
+	if tr2.Validate() == nil {
+		t.Error("zero DT accepted")
+	}
+}
+
+func TestAtClampsTime(t *testing.T) {
+	tr := record(t, 2, 20)
+	first := tr.At(0, -5)
+	if first != tr.Positions[0][0] {
+		t.Error("negative time should clamp to first tick")
+	}
+	last := tr.At(0, 9999)
+	if last != tr.Positions[len(tr.Positions)-1][0] {
+		t.Error("overlong time should clamp to last tick")
+	}
+}
+
+func TestVehiclesActuallyMove(t *testing.T) {
+	tr := record(t, 2, 120)
+	if tr.At(0, 0).Dist(tr.At(0, 60)) < 20 {
+		t.Error("vehicle barely moved over a minute")
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	tr := record(t, 3, 30)
+	if tr.Distance(0, 1, 5) != tr.Distance(1, 0, 5) {
+		t.Error("distance not symmetric")
+	}
+	if tr.Distance(2, 2, 5) != 0 {
+		t.Error("self distance nonzero")
+	}
+}
+
+func TestNeighborsWithinRange(t *testing.T) {
+	tr := record(t, 5, 10)
+	for _, n := range tr.Neighbors(0, 2, 300) {
+		if n == 0 {
+			t.Fatal("vehicle is its own neighbor")
+		}
+		if tr.Distance(0, n, 2) > 300 {
+			t.Fatalf("neighbor %d out of range", n)
+		}
+	}
+	// With an enormous range, everyone is a neighbor.
+	if got := len(tr.Neighbors(0, 2, 1e9)); got != 4 {
+		t.Errorf("universal range found %d neighbors", got)
+	}
+	if got := len(tr.Neighbors(0, 2, 0.001)); got != 0 {
+		t.Errorf("zero range found %d neighbors", got)
+	}
+}
+
+func TestContactDuration(t *testing.T) {
+	tr := record(t, 4, 400)
+	// Out-of-range pairs have zero contact.
+	found := false
+	for a := 0; a < 4 && !found; a++ {
+		for b := a + 1; b < 4 && !found; b++ {
+			if tr.Distance(a, b, 0) > 200 {
+				if got := tr.ContactDuration(a, b, 0, 200, 60); got != 0 {
+					t.Errorf("out-of-range contact = %v", got)
+				}
+				found = true
+			}
+		}
+	}
+	// In-range contact durations are bounded by the horizon and positive.
+	for a := 0; a < 4; a++ {
+		for b := a + 1; b < 4; b++ {
+			if tr.Distance(a, b, 0) <= 500 {
+				d := tr.ContactDuration(a, b, 0, 500, 60)
+				if d < 0 || d > 60 {
+					t.Errorf("contact duration %v outside [0, horizon]", d)
+				}
+			}
+		}
+	}
+}
+
+func TestContactDurationHorizonCap(t *testing.T) {
+	tr := record(t, 2, 1000)
+	d := tr.ContactDuration(0, 1, 0, 1e9, 30)
+	if math.Abs(d-30) > tr.DT {
+		t.Errorf("infinite-range contact should cap at horizon: %v", d)
+	}
+}
+
+func TestRecordDeterministic(t *testing.T) {
+	a := record(t, 3, 50)
+	b := record(t, 3, 50)
+	for tick := range a.Positions {
+		for v := range a.Positions[tick] {
+			if a.Positions[tick][v] != b.Positions[tick][v] {
+				t.Fatalf("traces diverge at tick %d vehicle %d", tick, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package world
+
+import (
+	"math"
+
+	"lbchat/internal/bev"
+	"lbchat/internal/dataset"
+	"lbchat/internal/geom"
+)
+
+// FrameHorizonStep is the time spacing between consecutive expert waypoints
+// in a collected frame (seconds).
+const FrameHorizonStep = 0.6
+
+// SpeedNorm normalizes ego speed into the model's [0, 1] speed input.
+const SpeedNorm = 15.0
+
+// NavHorizon normalizes the distance-to-maneuver input (m).
+const NavHorizon = 60.0
+
+// Pose-perturbation bounds for data collection. The expert drives exactly
+// on the lane centerline, so frames taken from its own pose would never
+// teach the model to correct drift (the covariate-shift problem of behavior
+// cloning [1]). Like the paper's underlying imitation pipeline [19], we
+// record each frame from a randomly perturbed virtual pose while the
+// waypoint targets keep pointing back to the expert's route.
+const (
+	maxLateralPerturb = 2.2  // meters
+	maxHeadingPerturb = 0.35 // radians (~20°)
+)
+
+// CollectFrame records one training frame for an expert vehicle: the BEV
+// seen from a perturbed ego pose, the active high-level command, the current
+// speed, and the expert's next numWaypoints waypoints normalized to the BEV
+// range. This is the 2 fps data-collection path of §IV-A.
+func CollectFrame(w *World, v *Vehicle, ras *bev.Rasterizer, numWaypoints int) dataset.Sample {
+	base := v.Frame()
+	lat := v.rng.Uniform(-maxLateralPerturb, maxLateralPerturb)
+	dh := v.rng.Uniform(-maxHeadingPerturb, maxHeadingPerturb)
+	right := geom.Pt(1, 0).Rotate(base.Heading - math.Pi/2)
+	frame := geom.Frame{
+		Origin:  base.Origin.Add(right.Scale(lat)),
+		Heading: geom.WrapAngle(base.Heading + dh),
+	}
+
+	bevTensor := ras.Rasterize(frame, w.AllVehiclePositions(v.ID), w.PedestrianPositions())
+	speed := v.desiredSpeed(w)
+	targets := make([]float64, 0, 2*numWaypoints)
+	for i := 1; i <= numWaypoints; i++ {
+		wp := v.Route.PosAt(v.S + speed*FrameHorizonStep*float64(i))
+		x, y := ras.Config().NormalizeWaypoint(frame.ToLocal(wp))
+		targets = append(targets, x, y)
+	}
+	return dataset.Sample{
+		BEV:     bevTensor,
+		Command: v.Command(),
+		Speed:   geom.Clamp(v.V/SpeedNorm, 0, 1),
+		NavDist: NavDistAt(v.Route, v.S),
+		RedDist: RedDistInput(w.Map, v.Route, v.S, w.Time),
+		Targets: targets,
+	}
+}
+
+// NavDistAt returns the normalized distance from arc s to the route's next
+// maneuver point (1 when none is within the navigation horizon).
+func NavDistAt(route *Route, s float64) float64 {
+	if arc, ok := route.NextInteriorNode(s, NavHorizon); ok {
+		return geom.Clamp((arc-s)/NavHorizon, 0, 1)
+	}
+	return 1
+}
+
+// CollectDataset steps the world for the given number of ticks of dt
+// seconds, collecting one frame per expert vehicle per tick (the paper
+// collects at 2 fps, i.e. dt = 0.5). It returns one dataset per expert, all
+// samples carrying unit weight.
+func CollectDataset(w *World, ras *bev.Rasterizer, numWaypoints, ticks int, dt float64) []*dataset.Dataset {
+	out := make([]*dataset.Dataset, len(w.Experts))
+	for i := range out {
+		out[i] = dataset.New(ticks)
+	}
+	for t := 0; t < ticks; t++ {
+		w.Step(dt)
+		for i, v := range w.Experts {
+			out[i].Add(CollectFrame(w, v, ras, numWaypoints), 1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package world
+
+import (
+	"lbchat/internal/geom"
+	"lbchat/internal/simrand"
+)
+
+// Pedestrian is a random-waypoint walker roaming the whole map off the
+// drivable surface, crossing roads only while traveling between targets —
+// like CARLA's pedestrians, who keep to sidewalks and open ground and cross
+// occasionally. Crossing pedestrians are the hazard the driving model must
+// learn to brake for.
+type Pedestrian struct {
+	ID        int
+	Pos       geom.Point
+	target    geom.Point
+	speed     float64
+	waitUntil float64 // dwell at the current spot until this world time
+	rng       *simrand.Rand
+	bounds    geom.Point // map extent for target sampling
+}
+
+// NewPedestrian spawns a pedestrian at a random off-road position.
+func NewPedestrian(id int, m *Map, rng *simrand.Rand) *Pedestrian {
+	w, h := m.Bounds()
+	p := &Pedestrian{
+		ID:     id,
+		rng:    rng,
+		bounds: geom.Pt(w, h),
+		speed:  rng.Uniform(1.0, 1.7),
+	}
+	p.Pos = p.samplePoint(m)
+	p.target = p.samplePoint(m)
+	return p
+}
+
+// samplePoint picks a uniformly random off-road target, so walking legs
+// cross roads transiently but pedestrians never linger on them.
+func (p *Pedestrian) samplePoint(m *Map) geom.Point {
+	for tries := 0; tries < 64; tries++ {
+		cand := geom.Pt(p.rng.Uniform(0, p.bounds.X), p.rng.Uniform(0, p.bounds.Y))
+		if !m.IsRoad(cand) {
+			return cand
+		}
+	}
+	return geom.Pt(p.rng.Uniform(0, p.bounds.X), p.rng.Uniform(0, p.bounds.Y))
+}
+
+// yieldDistance is how close an approaching car may get before a pedestrian
+// waits instead of stepping onto the road. Real pedestrians (and CARLA
+// walkers) do not walk into moving vehicles.
+const yieldDistance = 9.0
+
+// Step advances the pedestrian toward its target, re-sampling a new target
+// on arrival. Before entering the drivable surface the pedestrian yields to
+// nearby moving cars.
+func (p *Pedestrian) Step(w *World, dt float64) {
+	m := w.Map
+	if w.Time < p.waitUntil {
+		return
+	}
+	to := p.target.Sub(p.Pos)
+	dist := to.Norm()
+	if dist < 1.0 {
+		// Arrived: dwell a while, like a real pedestrian at a storefront,
+		// then pick the next destination. Dwell keeps the instantaneous
+		// share of road-crossing pedestrians low, as in CARLA.
+		p.target = p.samplePoint(m)
+		p.waitUntil = w.Time + p.rng.Uniform(10, 60)
+		return
+	}
+	next := p.Pos.Add(to.Unit().Scale(p.speed * dt))
+	// Yield only when about to STEP ONTO the road: once crossing, keep
+	// moving and clear the lane (a pedestrian frozen mid-road would be a
+	// guaranteed collision).
+	if m.IsRoad(next) && !m.IsRoad(p.Pos) && w.anyCarNear(next, yieldDistance) {
+		return // wait at the curb
+	}
+	p.Pos = next
+}

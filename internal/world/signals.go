@@ -1,0 +1,99 @@
+package world
+
+import (
+	"math"
+
+	"lbchat/internal/geom"
+)
+
+// Traffic signals: every real intersection (3+ roads) runs a fixed-cycle
+// two-phase signal separating the north–south and east–west flows, like the
+// signalized junctions in CARLA's town maps. Connected vehicles receive
+// signal phase and timing over V2I (SAE J2735 SPaT messages), which is how
+// both the expert autopilots and the learned driving model know the state of
+// the light ahead — the model gets it as a scalar input, exactly as CARLA
+// agents receive red-light state.
+const (
+	// SignalPeriod is one full cycle (both phases) in seconds.
+	SignalPeriod = 32.0
+	// signalStopLine is where vehicles hold before a red light (m before
+	// the node).
+	signalStopLine = 9.0
+	// signalApproach is the distance within which a red light constrains
+	// the approach speed (m).
+	signalApproach = 28.0
+)
+
+// SignalPhase identifies which flow currently has green at a node.
+type SignalPhase int
+
+// Signal phases.
+const (
+	PhaseNorthSouth SignalPhase = iota + 1
+	PhaseEastWest
+)
+
+// signalized reports whether the node runs a signal (3+ outgoing roads).
+func (m *Map) signalized(id NodeID) bool {
+	return len(m.Nodes[id].Out) >= 3
+}
+
+// SignalPhaseAt returns the active phase of node id at time t. Phases are
+// staggered across nodes so the whole town does not switch in lockstep.
+func (m *Map) SignalPhaseAt(id NodeID, t float64) SignalPhase {
+	offset := float64(int(id)%4) * SignalPeriod / 4
+	if math.Mod(t+offset, SignalPeriod) < SignalPeriod/2 {
+		return PhaseNorthSouth
+	}
+	return PhaseEastWest
+}
+
+// SignalRed reports whether a vehicle approaching node id with the given
+// travel heading faces a red light at time t. Unsignalized nodes are never
+// red.
+func (m *Map) SignalRed(id NodeID, approachHeading, t float64) bool {
+	if !m.signalized(id) {
+		return false
+	}
+	northSouth := math.Abs(math.Sin(approachHeading)) > math.Abs(math.Cos(approachHeading))
+	phase := m.SignalPhaseAt(id, t)
+	if northSouth {
+		return phase != PhaseNorthSouth
+	}
+	return phase != PhaseEastWest
+}
+
+// redLightAhead returns the distance to a red stop line ahead of arc s on
+// the route (math.Inf(1) when the next signal is green or absent). The
+// approach heading is taken at the current position.
+func redLightAhead(m *Map, route *Route, s, t float64) float64 {
+	nodeArc, ok := route.NextInteriorNode(s, signalApproach+signalStopLine)
+	if !ok {
+		return math.Inf(1)
+	}
+	node, ok := route.InteriorNodeAt(nodeArc)
+	if !ok {
+		return math.Inf(1)
+	}
+	if !m.SignalRed(node, route.HeadingAt(s), t) {
+		return math.Inf(1)
+	}
+	stop := nodeArc - signalStopLine - s
+	if stop < -2 {
+		// Already past the stop line (e.g. caught mid-intersection by the
+		// phase flip): proceed and clear the box.
+		return math.Inf(1)
+	}
+	return math.Max(stop, 0)
+}
+
+// RedDistInput converts the red-light distance into the model's normalized
+// scalar input: 1 when no red light constrains the approach, down to 0 at
+// the stop line.
+func RedDistInput(m *Map, route *Route, s, t float64) float64 {
+	d := redLightAhead(m, route, s, t)
+	if math.IsInf(d, 1) {
+		return 1
+	}
+	return geom.Clamp(d/signalApproach, 0, 1)
+}

@@ -1,0 +1,265 @@
+package world
+
+import (
+	"fmt"
+	"math"
+
+	"lbchat/internal/geom"
+	"lbchat/internal/simrand"
+)
+
+// FreeAgent is a vehicle not bound to a route polyline — the model-driven
+// testing autopilot during online evaluation. The world includes free agents
+// in proximity queries so background traffic reacts to them.
+type FreeAgent struct {
+	Pos     geom.Point
+	Heading float64
+	V       float64
+}
+
+// Frame returns the agent's ego frame.
+func (a *FreeAgent) Frame() geom.Frame {
+	return geom.Frame{Origin: a.Pos, Heading: a.Heading}
+}
+
+// World holds the full simulated environment and advances it in lockstep.
+type World struct {
+	Map         *Map
+	Experts     []*Vehicle
+	Background  []*Vehicle
+	Pedestrians []*Pedestrian
+	FreeAgents  []*FreeAgent
+
+	// Time is the current simulation time in seconds.
+	Time float64
+}
+
+// SpawnConfig sets the population of a world.
+type SpawnConfig struct {
+	// Experts is the number of data-collecting autopilot vehicles (the
+	// paper runs 32).
+	Experts int
+	// BackgroundCars is the roaming traffic count (the paper adds 50).
+	BackgroundCars int
+	// Pedestrians is the walker count (the paper adds 250).
+	Pedestrians int
+}
+
+// DefaultSpawnConfig mirrors the paper's population: 32 experts, 50
+// background cars, 250 pedestrians.
+func DefaultSpawnConfig() SpawnConfig {
+	return SpawnConfig{Experts: 32, BackgroundCars: 50, Pedestrians: 250}
+}
+
+// New creates a world on the given map and spawns its population
+// deterministically from rng.
+func New(m *Map, spawn SpawnConfig, rng *simrand.Rand) (*World, error) {
+	w := &World{Map: m}
+	numNodes := len(m.Nodes)
+	if numNodes == 0 {
+		return nil, fmt.Errorf("world: empty map")
+	}
+	for i := 0; i < spawn.Experts; i++ {
+		vr := rng.DeriveIndexed("expert", i)
+		route, err := RandomWalkRoute(m, NodeID(vr.Intn(numNodes)), 600, vr)
+		if err != nil {
+			return nil, fmt.Errorf("world: spawning expert %d: %w", i, err)
+		}
+		v := NewVehicle(i, route, vr)
+		v.S = vr.Uniform(0, route.Length()/2)
+		w.Experts = append(w.Experts, v)
+	}
+	for i := 0; i < spawn.BackgroundCars; i++ {
+		vr := rng.DeriveIndexed("bg", i)
+		route, err := RandomWalkRoute(m, NodeID(vr.Intn(numNodes)), 600, vr)
+		if err != nil {
+			return nil, fmt.Errorf("world: spawning background car %d: %w", i, err)
+		}
+		v := NewVehicle(1000+i, route, vr)
+		v.Background = true
+		v.S = vr.Uniform(0, route.Length()/2)
+		w.Background = append(w.Background, v)
+	}
+	for i := 0; i < spawn.Pedestrians; i++ {
+		w.Pedestrians = append(w.Pedestrians, NewPedestrian(i, m, rng.DeriveIndexed("ped", i)))
+	}
+	return w, nil
+}
+
+// Step advances every entity by dt seconds.
+func (w *World) Step(dt float64) {
+	for _, v := range w.Experts {
+		v.Step(w, dt)
+	}
+	for _, v := range w.Background {
+		v.Step(w, dt)
+	}
+	for _, p := range w.Pedestrians {
+		p.Step(w, dt)
+	}
+	w.Time += dt
+}
+
+// AllVehiclePositions returns the positions of every car except the one with
+// ID excludeID (-1 excludes nothing), including free agents.
+func (w *World) AllVehiclePositions(excludeID int) []geom.Point {
+	return w.VehiclePositionsSeenBy(excludeID, nil)
+}
+
+// VehiclePositionsSeenBy returns every car position visible to an observer:
+// excludeID removes a routed vehicle observing itself, excludeAgent removes
+// a free agent observing itself (an agent must never appear in its own BEV).
+func (w *World) VehiclePositionsSeenBy(excludeID int, excludeAgent *FreeAgent) []geom.Point {
+	out := make([]geom.Point, 0, len(w.Experts)+len(w.Background)+len(w.FreeAgents))
+	for _, v := range w.Experts {
+		if v.ID != excludeID {
+			out = append(out, v.Pos())
+		}
+	}
+	for _, v := range w.Background {
+		if v.ID != excludeID {
+			out = append(out, v.Pos())
+		}
+	}
+	for _, a := range w.FreeAgents {
+		if a != excludeAgent {
+			out = append(out, a.Pos)
+		}
+	}
+	return out
+}
+
+// PedestrianPositions returns all pedestrian positions.
+func (w *World) PedestrianPositions() []geom.Point {
+	out := make([]geom.Point, len(w.Pedestrians))
+	for i, p := range w.Pedestrians {
+		out[i] = p.Pos
+	}
+	return out
+}
+
+// aheadDistance returns the forward distance to point p within a driving
+// cone of the frame (ahead up to maxDist, lateral half-width corridor), or
+// +Inf when p is outside the cone.
+func aheadDistance(frame geom.Frame, p geom.Point, maxDist, corridor float64) float64 {
+	local := frame.ToLocal(p)
+	if local.X <= 0 || local.X > maxDist {
+		return math.Inf(1)
+	}
+	if math.Abs(local.Y) > corridor {
+		return math.Inf(1)
+	}
+	return local.X
+}
+
+// nearestVehicleAhead returns the gap to the closest car in v's driving
+// cone (excluding v itself).
+func (w *World) nearestVehicleAhead(v *Vehicle) float64 {
+	frame := v.Frame()
+	best := math.Inf(1)
+	consider := func(p geom.Point) {
+		if d := aheadDistance(frame, p, followGap+10, 3.0); d < best {
+			best = d
+		}
+	}
+	for _, o := range w.Experts {
+		if o.ID != v.ID {
+			consider(o.Pos())
+		}
+	}
+	for _, o := range w.Background {
+		if o.ID != v.ID {
+			consider(o.Pos())
+		}
+	}
+	for _, a := range w.FreeAgents {
+		consider(a.Pos)
+	}
+	return best
+}
+
+// nearestPedestrianAhead returns the gap to the closest pedestrian in v's
+// caution cone.
+func (w *World) nearestPedestrianAhead(v *Vehicle) float64 {
+	frame := v.Frame()
+	best := math.Inf(1)
+	for _, p := range w.Pedestrians {
+		if d := aheadDistance(frame, p.Pos, pedSlowGap+6, 2.5); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// intersectionOccupied reports whether another car currently occupies the
+// conflict disc around an intersection ahead of v (cars behind v are
+// ignored — they are followers, not crossing traffic).
+func (w *World) intersectionOccupied(v *Vehicle, node geom.Point) bool {
+	frame := v.Frame()
+	occupied := func(p geom.Point) bool {
+		if p.Dist(node) > intersectionR {
+			return false
+		}
+		return frame.ToLocal(p).X > 2
+	}
+	for _, o := range w.Experts {
+		if o.ID != v.ID && occupied(o.Pos()) {
+			return true
+		}
+	}
+	for _, o := range w.Background {
+		if o.ID != v.ID && occupied(o.Pos()) {
+			return true
+		}
+	}
+	for _, a := range w.FreeAgents {
+		if occupied(a.Pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// anyCarNear reports whether any car (expert, background, or free agent)
+// is within r of pos and moving.
+func (w *World) anyCarNear(pos geom.Point, r float64) bool {
+	for _, v := range w.Experts {
+		if v.V > 0.5 && pos.Dist(v.Pos()) < r {
+			return true
+		}
+	}
+	for _, v := range w.Background {
+		if v.V > 0.5 && pos.Dist(v.Pos()) < r {
+			return true
+		}
+	}
+	for _, a := range w.FreeAgents {
+		if a.V > 0.5 && pos.Dist(a.Pos) < r {
+			return true
+		}
+	}
+	return false
+}
+
+// CollisionAt reports whether a car body at pos (with standard vehicle
+// radius) overlaps any other car or pedestrian. excludeID removes one
+// expert/background car from the check (the agent itself when it is a
+// routed vehicle; pass -1 for free agents).
+func (w *World) CollisionAt(pos geom.Point, excludeID int) bool {
+	for _, v := range w.Experts {
+		if v.ID != excludeID && pos.Dist(v.Pos()) < 2*vehicleRadius {
+			return true
+		}
+	}
+	for _, v := range w.Background {
+		if v.ID != excludeID && pos.Dist(v.Pos()) < 2*vehicleRadius {
+			return true
+		}
+	}
+	for _, p := range w.Pedestrians {
+		if pos.Dist(p.Pos) < vehicleRadius+pedRadius {
+			return true
+		}
+	}
+	return false
+}
