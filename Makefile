@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The simulator runs parallel by default; the race detector is part of
+# tier-1 verification for the concurrent paths (engine ticks, experiment
+# harness fan-out, chunked matmul).
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' ./...
+
+ci: build vet test race

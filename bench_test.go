@@ -24,7 +24,10 @@ import (
 
 // benchScale trims the default bench scale so the full suite (10 table and
 // figure regenerations, each training multiple fleets) completes on a single
-// CPU core in reasonable time. Scale up via cmd/lbchat-bench.
+// CPU core in reasonable time. Scale up via cmd/lbchat-bench. Workers stays
+// at the auto default, so on a multi-core host the harnesses fan their
+// independent protocol runs, vehicle ticks, and evaluation rollouts across
+// cores — with bit-identical results (see BenchmarkLbChatWorkers*).
 func benchScale() experiments.Scale {
 	s := experiments.BenchScale()
 	s.Vehicles = 6
@@ -248,6 +251,31 @@ func BenchmarkTrainStep(b *testing.B) {
 		pol.TrainStep(ds.SampleBatch(16, rng))
 	}
 }
+
+// benchmarkLbChatRun times one LbChat training run (wireless loss) at a
+// fixed worker count; comparing the Workers1 and WorkersAuto variants
+// measures the parallel execution layer's speedup on the host (≈1× on a
+// single core, rising with cores since the five-protocol harnesses,
+// per-vehicle ticks, and eval rollouts all fan out).
+func benchmarkLbChatRun(b *testing.B, workers int) {
+	env := getBenchEnv(b)
+	e := *env
+	e.Scale.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := e.RunProtocol(experiments.ProtoLbChat, false, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(1000*run.Curve.Final(), "mloss")
+	}
+}
+
+// BenchmarkLbChatWorkers1 is the serial baseline for the speedup comparison.
+func BenchmarkLbChatWorkers1(b *testing.B) { benchmarkLbChatRun(b, 1) }
+
+// BenchmarkLbChatWorkersAuto runs with one worker per available CPU.
+func BenchmarkLbChatWorkersAuto(b *testing.B) { benchmarkLbChatRun(b, 0) }
 
 // BenchmarkRouteSharingAblation isolates the Eq. (5) prioritization: LbChat
 // with and without route-sharing neighbor selection under wireless loss.

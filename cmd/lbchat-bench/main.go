@@ -6,10 +6,14 @@
 // Usage:
 //
 //	lbchat-bench -exp all -scale bench
-//	lbchat-bench -exp fig2a,tab2 -scale full
+//	lbchat-bench -exp fig2a,tab2 -scale full -workers 8
+//	lbchat-bench -speedup -workers 4
 //
 // Experiments: fig2a fig2b recvrate tab2 tab3 tab4 tab5 tab6 tab7 fig3 all.
 // Scales: test (seconds), bench (minutes), full (paper scale: 32 vehicles).
+// Every experiment reports its wall-clock time; -speedup additionally
+// calibrates the configured worker count against the serial baseline on one
+// LbChat training run. Results are bit-identical at every -workers setting.
 package main
 
 import (
@@ -17,9 +21,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"lbchat/internal/experiments"
 	"lbchat/internal/metrics"
+	"lbchat/internal/tensor"
 )
 
 func main() {
@@ -32,6 +38,8 @@ func main() {
 func run() error {
 	expFlag := flag.String("exp", "all", "comma-separated experiments: fig2a,fig2b,recvrate,tab2,tab3,tab4,tab5,tab6,tab7,fig3,all; extensions: routeshare,methods,adaptive,hetero,quant")
 	scaleFlag := flag.String("scale", "bench", "experiment scale: test, bench, or full")
+	workersFlag := flag.Int("workers", 0, "parallel workers at every level (0 = one per CPU, 1 = serial); results are bit-identical at any setting")
+	speedupFlag := flag.Bool("speedup", false, "measure the -workers speedup vs the serial baseline on one LbChat run, then exit")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -45,6 +53,8 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleFlag)
 	}
+	scale.Workers = *workersFlag
+	tensor.SetWorkers(*workersFlag)
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
@@ -53,11 +63,39 @@ func run() error {
 	all := want["all"]
 	selected := func(name string) bool { return all || want[name] }
 
-	fmt.Printf("Building environment (scale=%s: %d vehicles, %d frames/vehicle, %.0fs training)...\n",
-		scale.Name, scale.Vehicles, scale.CollectTicks, scale.TrainDuration)
+	fmt.Printf("Building environment (scale=%s: %d vehicles, %d frames/vehicle, %.0fs training, workers=%s)...\n",
+		scale.Name, scale.Vehicles, scale.CollectTicks, scale.TrainDuration, workersLabel(*workersFlag))
+	buildStart := time.Now()
 	env, err := experiments.BuildEnv(scale)
 	if err != nil {
 		return err
+	}
+	fmt.Printf("-- environment built in %s\n", time.Since(buildStart).Round(time.Millisecond))
+
+	if *speedupFlag {
+		return measureSpeedup(env, *workersFlag)
+	}
+
+	// timed runs one experiment and reports its wall-clock, so scale and
+	// worker-count choices can be compared run to run.
+	timed := func(name string, fn func() error) error {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("-- %s finished in %s\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	renderTable := func(name, header string, build func() (*metrics.Table, error)) error {
+		return timed(name, func() error {
+			fmt.Printf("\n=== %s ===\n", header)
+			tbl, err := build()
+			if err != nil {
+				return err
+			}
+			fmt.Print(tbl.Render())
+			return nil
+		})
 	}
 
 	// Fig. 2 runs are shared with Tables II/III and the receive rates.
@@ -67,13 +105,19 @@ func run() error {
 
 	if needLossless {
 		fmt.Println("\n== Training all protocols (W/O wireless loss)...")
-		if runsLossless, err = env.Fig2(true); err != nil {
+		if err := timed("training (W/O wireless loss)", func() error {
+			runsLossless, err = env.Fig2(true)
+			return err
+		}); err != nil {
 			return err
 		}
 	}
 	if needLossy {
 		fmt.Println("\n== Training all protocols (W wireless loss)...")
-		if runsLossy, err = env.Fig2(false); err != nil {
+		if err := timed("training (W wireless loss)", func() error {
+			runsLossy, err = env.Fig2(false)
+			return err
+		}); err != nil {
 			return err
 		}
 	}
@@ -100,97 +144,129 @@ func run() error {
 		fmt.Print(experiments.RenderReceiveRates(experiments.ReceiveRates(runsLossy)))
 	}
 	if selected("tab2") {
-		fmt.Println("\n=== Table II (driving success rate, W/O wireless loss) ===")
-		rates := env.SuccessRates(runsLossless)
-		fmt.Print(env.SuccessTable("", experiments.BenchmarkProtocols, rates).Render())
+		if err := timed("Table II", func() error {
+			fmt.Println("\n=== Table II (driving success rate, W/O wireless loss) ===")
+			rates := env.SuccessRates(runsLossless)
+			fmt.Print(env.SuccessTable("", experiments.BenchmarkProtocols, rates).Render())
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if selected("tab3") {
-		fmt.Println("\n=== Table III (driving success rate, W wireless loss) ===")
-		rates := env.SuccessRates(runsLossy)
-		fmt.Print(env.SuccessTable("", experiments.BenchmarkProtocols, rates).Render())
+		if err := timed("Table III", func() error {
+			fmt.Println("\n=== Table III (driving success rate, W wireless loss) ===")
+			rates := env.SuccessRates(runsLossy)
+			fmt.Print(env.SuccessTable("", experiments.BenchmarkProtocols, rates).Render())
+			return nil
+		}); err != nil {
+			return err
+		}
 	}
 	if selected("tab4") {
-		fmt.Println("\n=== Table IV (coreset-size sweep) ===")
-		tbl, err := env.Table4()
-		if err != nil {
+		if err := renderTable("Table IV", "Table IV (coreset-size sweep)", env.Table4); err != nil {
 			return err
 		}
-		fmt.Print(tbl.Render())
 	}
 	if selected("tab5") {
-		fmt.Println("\n=== Table V (equal compression ablation) ===")
-		tbl, err := env.Table5()
-		if err != nil {
+		if err := renderTable("Table V", "Table V (equal compression ablation)", env.Table5); err != nil {
 			return err
 		}
-		fmt.Print(tbl.Render())
 	}
 	if selected("tab6") {
-		fmt.Println("\n=== Table VI (average aggregation ablation) ===")
-		tbl, err := env.Table6()
-		if err != nil {
+		if err := renderTable("Table VI", "Table VI (average aggregation ablation)", env.Table6); err != nil {
 			return err
 		}
-		fmt.Print(tbl.Render())
 	}
 	if selected("tab7") {
-		fmt.Println("\n=== Table VII (sharing coreset only) ===")
-		tbl, err := env.Table7()
-		if err != nil {
+		if err := renderTable("Table VII", "Table VII (sharing coreset only)", env.Table7); err != nil {
 			return err
 		}
-		fmt.Print(tbl.Render())
 	}
 	if want["routeshare"] {
-		fmt.Println("\n=== Extension: route-sharing (Eq. 5) ablation ===")
-		tbl, err := env.RouteSharingStudy()
-		if err != nil {
+		if err := renderTable("route-sharing study", "Extension: route-sharing (Eq. 5) ablation", env.RouteSharingStudy); err != nil {
 			return err
 		}
-		fmt.Print(tbl.Render())
 	}
 	if want["methods"] {
-		fmt.Println("\n=== Extension: coreset construction methods (§V) ===")
-		tbl, err := env.CoresetMethodStudy(true)
-		if err != nil {
+		if err := renderTable("coreset-method study", "Extension: coreset construction methods (§V)",
+			func() (*metrics.Table, error) { return env.CoresetMethodStudy(true) }); err != nil {
 			return err
 		}
-		fmt.Print(tbl.Render())
 	}
 	if want["hetero"] {
-		fmt.Println("\n=== Extension: bandwidth heterogeneity (footnote 1 future work) ===")
-		tbl, err := env.HeterogeneityStudy(true)
-		if err != nil {
+		if err := renderTable("heterogeneity study", "Extension: bandwidth heterogeneity (footnote 1 future work)",
+			func() (*metrics.Table, error) { return env.HeterogeneityStudy(true) }); err != nil {
 			return err
 		}
-		fmt.Print(tbl.Render())
 	}
 	if want["quant"] {
-		fmt.Println("\n=== Extension: compression schemes (top-k vs quantization) ===")
-		tbl, err := env.CompressionSchemeStudy(true)
-		if err != nil {
+		if err := renderTable("compression-scheme study", "Extension: compression schemes (top-k vs quantization)",
+			func() (*metrics.Table, error) { return env.CompressionSchemeStudy(true) }); err != nil {
 			return err
 		}
-		fmt.Print(tbl.Render())
 	}
 	if want["adaptive"] {
-		fmt.Println("\n=== Extension: adaptive coreset sizing (future work) ===")
-		tbl, err := env.AdaptiveCoresetStudy(true)
-		if err != nil {
+		if err := renderTable("adaptive-coreset study", "Extension: adaptive coreset sizing (future work)",
+			func() (*metrics.Table, error) { return env.AdaptiveCoresetStudy(true) }); err != nil {
 			return err
 		}
-		fmt.Print(tbl.Render())
 	}
 	if selected("fig3") {
-		fmt.Println("\n=== Figure 3 (LbChat vs SCO) ===")
-		lb, sco, ratio, err := env.Fig3(true)
-		if err != nil {
+		if err := timed("Figure 3", func() error {
+			fmt.Println("\n=== Figure 3 (LbChat vs SCO) ===")
+			lb, sco, ratio, err := env.Fig3(true)
+			if err != nil {
+				return err
+			}
+			fmt.Print(metrics.PlotCurves(72, 18, &lb.Curve, &sco.Curve))
+			fmt.Print(lb.Curve.Render())
+			fmt.Print(sco.Curve.Render())
+			fmt.Printf("SCO convergence slowdown vs LbChat: %.2fx (paper: 1.5-1.8x)\n", ratio)
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Print(metrics.PlotCurves(72, 18, &lb.Curve, &sco.Curve))
-		fmt.Print(lb.Curve.Render())
-		fmt.Print(sco.Curve.Render())
-		fmt.Printf("SCO convergence slowdown vs LbChat: %.2fx (paper: 1.5-1.8x)\n", ratio)
 	}
 	return nil
+}
+
+// measureSpeedup trains one LbChat fleet serially and again at the
+// configured worker count, verifies the two runs agree bit for bit, and
+// reports the wall-clock ratio.
+func measureSpeedup(env *experiments.Env, workers int) error {
+	runOnce := func(w int) (*experiments.Run, time.Duration, error) {
+		tensor.SetWorkers(w)
+		e := *env
+		e.Scale.Workers = w
+		start := time.Now()
+		run, err := e.RunProtocol(experiments.ProtoLbChat, false, nil)
+		return run, time.Since(start), err
+	}
+	fmt.Println("\n== Speedup calibration: one LbChat run (W wireless loss) ==")
+	serialRun, serialTime, err := runOnce(1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workers=1: %s\n", serialTime.Round(time.Millisecond))
+	parRun, parTime, err := runOnce(workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workers=%s: %s\n", workersLabel(workers), parTime.Round(time.Millisecond))
+	fmt.Printf("speedup: %.2fx\n", serialTime.Seconds()/parTime.Seconds())
+	if serialRun.Curve.Final() != parRun.Curve.Final() || serialRun.Recv != parRun.Recv {
+		return fmt.Errorf("determinism violation: serial and parallel runs disagree (final loss %v vs %v)",
+			serialRun.Curve.Final(), parRun.Curve.Final())
+	}
+	fmt.Println("determinism check: serial and parallel runs agree")
+	return nil
+}
+
+// workersLabel formats a worker count for output ("auto" for 0).
+func workersLabel(n int) string {
+	if n <= 0 {
+		return "auto"
+	}
+	return fmt.Sprintf("%d", n)
 }

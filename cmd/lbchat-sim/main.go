@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"lbchat/internal/experiments"
 	"lbchat/internal/metrics"
+	"lbchat/internal/tensor"
 )
 
 func main() {
@@ -36,12 +38,15 @@ func run() error {
 	logChats := flag.Bool("log-chats", false, "trace every pairwise chat decision to stderr")
 	saveDir := flag.String("save-fleet", "", "directory to write the trained fleet's model blobs into")
 	jsonPath := flag.String("json", "", "write the loss curve and transfer stats as JSON to this file")
+	workers := flag.Int("workers", 0, "parallel workers for vehicle ticks (0 = one per CPU, 1 = serial); results are bit-identical at any setting")
 	flag.Parse()
 
 	scale := experiments.BenchScale()
 	scale.Vehicles = *vehicles
 	scale.TrainDuration = *duration
 	scale.Seed = *seed
+	scale.Workers = *workers
+	tensor.SetWorkers(*workers)
 
 	fmt.Printf("Building environment: %d vehicles on a %d-tick trace...\n",
 		scale.Vehicles, scale.TraceTicks)
@@ -53,10 +58,12 @@ func run() error {
 
 	fmt.Printf("Running %s for %.0fs of virtual time (wireless loss: %v)...\n",
 		*protocol, *duration, *lossy)
+	start := time.Now()
 	run, err := env.RunProtocol(experiments.ProtocolName(*protocol), !*lossy, nil)
 	if err != nil {
 		return err
 	}
+	fmt.Printf("Run finished in %s wall-clock\n", time.Since(start).Round(time.Millisecond))
 
 	fmt.Println("\nTraining loss vs virtual time:")
 	fmt.Print(run.Curve.Render())

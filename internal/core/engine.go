@@ -19,6 +19,7 @@ import (
 	"lbchat/internal/dataset"
 	"lbchat/internal/metrics"
 	"lbchat/internal/model"
+	"lbchat/internal/parallel"
 	"lbchat/internal/radio"
 	"lbchat/internal/sched"
 	"lbchat/internal/simrand"
@@ -93,6 +94,12 @@ type Config struct {
 	// LogChats prints per-chat decision traces (value assessments, fitted φ
 	// samples, Eq. (7) solutions) to standard error — a debugging aid.
 	LogChats bool
+	// Workers bounds the engine's per-tick parallelism (local training and
+	// probe evaluation fan out across vehicles). 0 means one worker per
+	// available CPU; 1 forces the serial path. Results are bit-identical at
+	// every worker count: vehicles touch only private state during the
+	// parallel phases and float reductions run in vehicle-index order.
+	Workers int
 	// Model configures the policy architecture.
 	Model model.Config
 }
@@ -215,6 +222,10 @@ type Engine struct {
 	now        float64
 	nextRecord float64
 	initFlat   []float64
+
+	// dueVehicles is trainTick's reused scratch for the vehicles whose next
+	// training step has come due this tick.
+	dueVehicles []*Vehicle
 }
 
 // NewEngine builds a fleet over the given mobility trace and local datasets.
@@ -291,8 +302,28 @@ func (e *Engine) Run(p Protocol, duration float64) error {
 	return nil
 }
 
+// workers resolves the engine's per-tick parallelism.
+func (e *Engine) workers() int { return parallel.Resolve(e.Cfg.Workers) }
+
+// trainTick runs every vehicle's due local-SGD steps. Each vehicle touches
+// only its own policy, dataset cursor, and private RNG stream, so the due
+// vehicles train concurrently; training order across vehicles never mattered
+// (no shared state), so the result is bit-identical to the serial loop.
 func (e *Engine) trainTick() {
+	// Cheap serial scan first: most ticks no vehicle is due, and spinning up
+	// the pool just to discover that would dominate the tick.
+	due := e.dueVehicles[:0]
 	for _, v := range e.Vehicles {
+		if v.nextTrain <= e.now {
+			due = append(due, v)
+		}
+	}
+	e.dueVehicles = due
+	if len(due) == 0 {
+		return
+	}
+	parallel.ForEach(e.workers(), len(due), func(i int) {
+		v := due[i]
 		for v.nextTrain <= e.now {
 			batch := v.Data.SampleBatch(e.Cfg.BatchSize, v.rng)
 			if len(batch) > 0 {
@@ -300,18 +331,28 @@ func (e *Engine) trainTick() {
 			}
 			v.nextTrain += e.Cfg.TrainInterval
 		}
+	})
+}
+
+// probeLossMean evaluates every vehicle on the probe set (in parallel — the
+// probe is read-only and each policy is private) and reduces the losses in
+// vehicle-index order so the float sum is bit-identical at any worker count.
+func (e *Engine) probeLossMean() float64 {
+	losses := parallel.Map(e.workers(), len(e.Vehicles), func(i int) float64 {
+		return e.Vehicles[i].Policy.Loss(e.Probe)
+	})
+	var sum float64
+	for _, l := range losses {
+		sum += l
 	}
+	return sum / float64(len(e.Vehicles))
 }
 
 func (e *Engine) recordLoss() {
 	if len(e.Probe) == 0 {
 		return
 	}
-	var sum float64
-	for _, v := range e.Vehicles {
-		sum += v.Policy.Loss(e.Probe)
-	}
-	e.LossCurve.Add(e.now, sum/float64(len(e.Vehicles)))
+	e.LossCurve.Add(e.now, e.probeLossMean())
 }
 
 // AvgProbeLoss returns the fleet's current mean loss on the probe set.
@@ -319,11 +360,7 @@ func (e *Engine) AvgProbeLoss() float64 {
 	if len(e.Probe) == 0 {
 		return math.NaN()
 	}
-	var sum float64
-	for _, v := range e.Vehicles {
-		sum += v.Policy.Loss(e.Probe)
-	}
-	return sum / float64(len(e.Vehicles))
+	return e.probeLossMean()
 }
 
 // Distance returns the current distance between two vehicles.

@@ -20,6 +20,7 @@ import (
 	"lbchat/internal/geom"
 	"lbchat/internal/metrics"
 	"lbchat/internal/model"
+	"lbchat/internal/parallel"
 	"lbchat/internal/radio"
 	"lbchat/internal/simrand"
 	"lbchat/internal/trace"
@@ -53,6 +54,11 @@ type Scale struct {
 	RoutesPerCondition int
 	// Seed drives all randomness.
 	Seed uint64
+	// Workers bounds parallelism at every level: concurrent protocol runs
+	// within a harness, per-vehicle work inside each engine tick, and
+	// fleet-evaluation rollouts. 0 means one worker per available CPU; 1
+	// forces the fully serial paths. Output is bit-identical at any setting.
+	Workers int
 }
 
 // TestScale is a minimal configuration for unit tests.
@@ -115,6 +121,7 @@ func BuildEnv(scale Scale) (*Env, error) {
 	}
 	cfg := core.DefaultConfig()
 	cfg.Seed = scale.Seed
+	cfg.Workers = scale.Workers
 
 	rng := simrand.New(scale.Seed)
 	w, err := world.New(m, world.SpawnConfig{
@@ -282,13 +289,33 @@ func (e *Env) EvalFleet(fleet []*model.Policy) map[eval.Condition]float64 {
 	if sample > len(fleet) {
 		sample = len(fleet)
 	}
-	out := make(map[eval.Condition]float64, len(eval.Conditions))
+	// Fan the (condition, fleet-sample) grid out across workers. Each task
+	// clones its policy — the same fleet model appears in several tasks, and
+	// policies are not concurrency-safe; a clone has identical parameters, so
+	// identical predictions. Rates come back in task-index order and are
+	// reduced per condition in k order, so the float averages match the
+	// serial nested loops bit for bit.
+	type task struct {
+		cond eval.Condition
+		k    int
+	}
+	tasks := make([]task, 0, len(eval.Conditions)*sample)
 	for _, cond := range eval.Conditions {
+		for k := 0; k < sample; k++ {
+			tasks = append(tasks, task{cond, k})
+		}
+	}
+	rates := parallel.Map(parallel.Resolve(e.Scale.Workers), len(tasks), func(t int) float64 {
+		cond, k := tasks[t].cond, tasks[t].k
+		idx := k * len(fleet) / sample
+		seed := e.Scale.Seed*1_000_003 + uint64(k)*501 + uint64(cond)*77
+		return ev.SuccessRate(fleet[idx].Clone(), cond, e.Scale.EvalTrials, seed)
+	})
+	out := make(map[eval.Condition]float64, len(eval.Conditions))
+	for ci, cond := range eval.Conditions {
 		var sum float64
 		for k := 0; k < sample; k++ {
-			idx := k * len(fleet) / sample
-			seed := e.Scale.Seed*1_000_003 + uint64(k)*501 + uint64(cond)*77
-			sum += ev.SuccessRate(fleet[idx], cond, e.Scale.EvalTrials, seed)
+			sum += rates[ci*sample+k]
 		}
 		out[cond] = sum / float64(sample)
 	}

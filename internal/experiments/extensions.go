@@ -6,6 +6,7 @@ import (
 	"lbchat/internal/core"
 	"lbchat/internal/coreset"
 	"lbchat/internal/metrics"
+	"lbchat/internal/parallel"
 )
 
 // Extension studies beyond the paper's published tables: the route-sharing
@@ -13,20 +14,35 @@ import (
 // constructions §V discusses, and the adaptive coreset sizing the paper
 // names as future work.
 
+// runSpec names one protocol run for runConcurrent.
+type runSpec struct {
+	name     ProtocolName
+	lossless bool
+	mut      func(*core.Config)
+}
+
+// runConcurrent executes independent protocol runs concurrently (each gets
+// its own engine and fresh datasets) and returns results in argument order.
+func (e *Env) runConcurrent(specs ...runSpec) ([]*Run, error) {
+	return parallel.MapErr(parallel.Resolve(e.Scale.Workers), len(specs), func(i int) (*Run, error) {
+		return e.RunProtocol(specs[i].name, specs[i].lossless, specs[i].mut)
+	})
+}
+
 // RouteSharingStudy isolates the Eq. (5) neighbor prioritization by running
 // LbChat with and without it under wireless loss. The paper credits
 // route-sharing for LbChat's 87% receiving rate (vs ~51–60% for the
 // benchmarks); the ablation shows how much of that margin the priority
 // score carries.
 func (e *Env) RouteSharingStudy() (*metrics.Table, error) {
-	withPrio, err := e.RunProtocol(ProtoLbChat, false, nil)
+	runs, err := e.runConcurrent(
+		runSpec{name: ProtoLbChat},
+		runSpec{name: ProtoNoPrio},
+	)
 	if err != nil {
 		return nil, err
 	}
-	without, err := e.RunProtocol(ProtoNoPrio, false, nil)
-	if err != nil {
-		return nil, err
-	}
+	withPrio, without := runs[0], runs[1]
 	tbl := metrics.NewTable("Route-sharing ablation (W wireless loss)",
 		"LbChat", "LbChat-NoPrio")
 	tbl.AddRow("final probe loss (x1000)", 1000*withPrio.Curve.Final(), 1000*without.Curve.Final())
@@ -46,15 +62,20 @@ func (e *Env) CoresetMethodStudy(lossless bool) (*metrics.Table, error) {
 		coreset.MethodUniform,
 	}
 	cols := make([]string, len(methods))
-	finals := make([]float64, len(methods))
-	rates := make([]float64, len(methods))
+	specs := make([]runSpec, len(methods))
 	for i, m := range methods {
 		m := m
 		cols[i] = m.String()
-		run, err := e.RunProtocol(ProtoLbChat, lossless, func(c *core.Config) { c.CoresetMethod = m })
-		if err != nil {
-			return nil, fmt.Errorf("method %v: %w", m, err)
-		}
+		specs[i] = runSpec{name: ProtoLbChat, lossless: lossless,
+			mut: func(c *core.Config) { c.CoresetMethod = m }}
+	}
+	runs, err := e.runConcurrent(specs...)
+	if err != nil {
+		return nil, fmt.Errorf("coreset method study: %w", err)
+	}
+	finals := make([]float64, len(methods))
+	rates := make([]float64, len(methods))
+	for i, run := range runs {
 		finals[i] = 1000 * run.Curve.Final()
 		rates[i] = 100 * run.Recv.Rate()
 	}
@@ -68,14 +89,14 @@ func (e *Env) CoresetMethodStudy(lossless bool) (*metrics.Table, error) {
 // the adaptive per-vehicle sizing (the paper's future work: "Adaptive
 // tuning the size of coreset will be our future work").
 func (e *Env) AdaptiveCoresetStudy(lossless bool) (*metrics.Table, error) {
-	fixed, err := e.RunProtocol(ProtoLbChat, lossless, nil)
+	runs, err := e.runConcurrent(
+		runSpec{name: ProtoLbChat, lossless: lossless},
+		runSpec{name: ProtoAdaptive, lossless: lossless},
+	)
 	if err != nil {
 		return nil, err
 	}
-	adaptive, err := e.RunProtocol(ProtoAdaptive, lossless, nil)
-	if err != nil {
-		return nil, err
-	}
+	fixed, adaptive := runs[0], runs[1]
 	tbl := metrics.NewTable("Adaptive coreset sizing", "fixed |C|", "adaptive |C|")
 	tbl.AddRow("final probe loss (x1000)", 1000*fixed.Curve.Final(), 1000*adaptive.Curve.Final())
 	tbl.AddRow("model receive rate (%)", 100*fixed.Recv.Rate(), 100*adaptive.Recv.Rate())
@@ -88,16 +109,16 @@ func (e *Env) AdaptiveCoresetStudy(lossless bool) (*metrics.Table, error) {
 // Eq. (5)/Eq. (7) machinery — which already negotiates min{B_i, B_j} — is
 // measured under the imbalance.
 func (e *Env) HeterogeneityStudy(lossless bool) (*metrics.Table, error) {
-	homogeneous, err := e.RunProtocol(ProtoLbChat, lossless, nil)
+	runs, err := e.runConcurrent(
+		runSpec{name: ProtoLbChat, lossless: lossless},
+		runSpec{name: ProtoLbChat, lossless: lossless, mut: func(c *core.Config) {
+			c.BandwidthMinBps = 5e6 // 5–31 Mbps spread
+		}},
+	)
 	if err != nil {
 		return nil, err
 	}
-	heterogeneous, err := e.RunProtocol(ProtoLbChat, lossless, func(c *core.Config) {
-		c.BandwidthMinBps = 5e6 // 5–31 Mbps spread
-	})
-	if err != nil {
-		return nil, err
-	}
+	homogeneous, heterogeneous := runs[0], runs[1]
 	tbl := metrics.NewTable("Bandwidth heterogeneity (LbChat)",
 		"20-31 Mbps", "5-31 Mbps")
 	tbl.AddRow("final probe loss (x1000)", 1000*homogeneous.Curve.Final(), 1000*heterogeneous.Curve.Final())
@@ -111,16 +132,16 @@ func (e *Env) HeterogeneityStudy(lossless bool) (*metrics.Table, error) {
 // biased/unbiased model compression methods can also be applied, such as
 // quantization") inside full LbChat runs.
 func (e *Env) CompressionSchemeStudy(lossless bool) (*metrics.Table, error) {
-	topk, err := e.RunProtocol(ProtoLbChat, lossless, nil)
+	runs, err := e.runConcurrent(
+		runSpec{name: ProtoLbChat, lossless: lossless},
+		runSpec{name: ProtoLbChat, lossless: lossless, mut: func(c *core.Config) {
+			c.CompressionScheme = core.SchemeQuantize
+		}},
+	)
 	if err != nil {
 		return nil, err
 	}
-	quant, err := e.RunProtocol(ProtoLbChat, lossless, func(c *core.Config) {
-		c.CompressionScheme = core.SchemeQuantize
-	})
-	if err != nil {
-		return nil, err
-	}
+	topk, quant := runs[0], runs[1]
 	tbl := metrics.NewTable("Compression schemes (LbChat)", "top-k", "quantization")
 	tbl.AddRow("final probe loss (x1000)", 1000*topk.Curve.Final(), 1000*quant.Curve.Final())
 	tbl.AddRow("model receive rate (%)", 100*topk.Recv.Rate(), 100*quant.Recv.Rate())

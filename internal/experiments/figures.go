@@ -7,21 +7,20 @@ import (
 	"lbchat/internal/core"
 	"lbchat/internal/eval"
 	"lbchat/internal/metrics"
+	"lbchat/internal/parallel"
 )
 
 // Fig2 reproduces Figure 2: training loss vs time for LbChat and the four
 // benchmarks. lossless=true is Fig. 2(a) ("W/O wireless loss"),
 // lossless=false is Fig. 2(b) ("W wireless loss").
+//
+// The five protocol runs are fully independent — each gets its own engine,
+// fresh dataset clones, and seed-derived random streams — so they execute
+// concurrently; results come back in protocol order either way.
 func (e *Env) Fig2(lossless bool) ([]*Run, error) {
-	runs := make([]*Run, 0, len(BenchmarkProtocols))
-	for _, name := range BenchmarkProtocols {
-		run, err := e.RunProtocol(name, lossless, nil)
-		if err != nil {
-			return nil, err
-		}
-		runs = append(runs, run)
-	}
-	return runs, nil
+	return parallel.MapErr(parallel.Resolve(e.Scale.Workers), len(BenchmarkProtocols), func(i int) (*Run, error) {
+		return e.RunProtocol(BenchmarkProtocols[i], lossless, nil)
+	})
 }
 
 // ReceiveRates extracts the §IV-C successful model-receiving rates from a
@@ -84,15 +83,21 @@ func (e *Env) Table4() (*metrics.Table, error) {
 		{"15 (W)", maxInt(e.Cfg.CoresetSize/10, 2), false},
 	}
 	cols := make([]string, len(variants))
-	rates := make([]map[eval.Condition]float64, len(variants))
 	for i, v := range variants {
 		cols[i] = v.label
-		size := v.size
-		run, err := e.RunProtocol(ProtoLbChat, v.lossless, func(c *core.Config) { c.CoresetSize = size })
+	}
+	// The four coreset-size variants are independent runs; train and
+	// evaluate them concurrently, collecting rates in column order.
+	rates, err := parallel.MapErr(parallel.Resolve(e.Scale.Workers), len(variants), func(i int) (map[eval.Condition]float64, error) {
+		size := variants[i].size
+		run, err := e.RunProtocol(ProtoLbChat, variants[i].lossless, func(c *core.Config) { c.CoresetSize = size })
 		if err != nil {
 			return nil, err
 		}
-		rates[i] = e.EvalFleet(run.Fleet)
+		return e.EvalFleet(run.Fleet), nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	tbl := metrics.NewTable("Table IV: driving success rate with different coreset size (%)", cols...)
 	for _, cond := range eval.Conditions {
@@ -105,18 +110,20 @@ func (e *Env) Table4() (*metrics.Table, error) {
 	return tbl, nil
 }
 
-// ablationTable runs one LbChat variant in both wireless regimes.
+// ablationTable runs one LbChat variant in both wireless regimes (the two
+// regimes are independent runs and execute concurrently).
 func (e *Env) ablationTable(title string, name ProtocolName) (*metrics.Table, error) {
-	ratesWO, err := e.RunProtocol(name, true, nil)
+	rates, err := parallel.MapErr(parallel.Resolve(e.Scale.Workers), 2, func(i int) (map[eval.Condition]float64, error) {
+		run, err := e.RunProtocol(name, i == 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		return e.EvalFleet(run.Fleet), nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	ratesW, err := e.RunProtocol(name, false, nil)
-	if err != nil {
-		return nil, err
-	}
-	wo := e.EvalFleet(ratesWO.Fleet)
-	w := e.EvalFleet(ratesW.Fleet)
+	wo, w := rates[0], rates[1]
 	tbl := metrics.NewTable(title, "W/O wireless loss", "W wireless loss")
 	for _, cond := range eval.Conditions {
 		tbl.AddRow(cond.String(), wo[cond], w[cond])
@@ -146,14 +153,14 @@ func (e *Env) Table7() (*metrics.Table, error) {
 // The threshold is the loss both curves eventually reach, placed at 10%
 // above the slower curve's best.
 func (e *Env) Fig3(lossless bool) (lbchat, sco *Run, ratio float64, err error) {
-	lbchat, err = e.RunProtocol(ProtoLbChat, lossless, nil)
+	names := []ProtocolName{ProtoLbChat, ProtoSCO}
+	runs, err := parallel.MapErr(parallel.Resolve(e.Scale.Workers), len(names), func(i int) (*Run, error) {
+		return e.RunProtocol(names[i], lossless, nil)
+	})
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	sco, err = e.RunProtocol(ProtoSCO, lossless, nil)
-	if err != nil {
-		return nil, nil, 0, err
-	}
+	lbchat, sco = runs[0], runs[1]
 	ratio = ConvergenceRatio(&lbchat.Curve, &sco.Curve)
 	return lbchat, sco, ratio, nil
 }

@@ -19,7 +19,10 @@ type Conv2D struct {
 	W *Param // (OutC, InC*Kernel*Kernel)
 	B *Param // (OutC)
 
-	cols []*tensor.Dense // cached im2col matrices per sample
+	cols []*tensor.Dense // cached im2col matrices per sample (reused)
+	// Scratch tensors reused across steps (fully overwritten or explicitly
+	// zeroed per call).
+	out, y, dx, g, dW, dCols, dImg *tensor.Dense
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -53,15 +56,19 @@ func (c *Conv2D) InSize() int { return c.InC * c.InH * c.InW }
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Dense) *tensor.Dense {
 	batch := x.Shape()[0]
-	out := tensor.New(batch, c.OutSize())
-	c.cols = c.cols[:0]
+	c.out = tensor.Reuse2D(c.out, batch, c.OutSize())
+	out := c.out
+	for len(c.cols) < batch {
+		c.cols = append(c.cols, nil)
+	}
 	spatial := c.OutH * c.OutW
 	for s := 0; s < batch; s++ {
 		img := tensor.FromSlice(x.Data()[s*c.InSize():(s+1)*c.InSize()], c.InC, c.InH, c.InW)
-		cols := tensor.Im2Col(img, c.Kernel, c.Stride, c.Pad) // (spatial, inC*k*k)
-		c.cols = append(c.cols, cols)
+		c.cols[s] = tensor.Im2ColInto(c.cols[s], img, c.Kernel, c.Stride, c.Pad) // (spatial, inC*k*k)
+		cols := c.cols[s]
 		// y = cols · Wᵀ  → (spatial, outC), stored transposed as CHW.
-		y := tensor.New(spatial, c.OutC)
+		c.y = tensor.Reuse2D(c.y, spatial, c.OutC)
+		y := c.y
 		tensor.MatMulTransBInto(y, cols, c.W.Value)
 		od := out.Data()[s*c.OutSize() : (s+1)*c.OutSize()]
 		yd := y.Data()
@@ -78,14 +85,16 @@ func (c *Conv2D) Forward(x *tensor.Dense) *tensor.Dense {
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Dense) *tensor.Dense {
 	batch := grad.Shape()[0]
-	dx := tensor.New(batch, c.InSize())
+	c.dx = tensor.Reuse2D(c.dx, batch, c.InSize())
+	dx := c.dx
 	spatial := c.OutH * c.OutW
 	wg := c.W.Grad
 	bg := c.B.Grad.Data()
 	for s := 0; s < batch; s++ {
 		gd := grad.Data()[s*c.OutSize() : (s+1)*c.OutSize()]
 		// Reassemble grad as (spatial, outC).
-		g := tensor.New(spatial, c.OutC)
+		c.g = tensor.Reuse2D(c.g, spatial, c.OutC)
+		g := c.g
 		gdM := g.Data()
 		for ch := 0; ch < c.OutC; ch++ {
 			for pos := 0; pos < spatial; pos++ {
@@ -94,14 +103,16 @@ func (c *Conv2D) Backward(grad *tensor.Dense) *tensor.Dense {
 			}
 		}
 		// dW += gᵀ · cols → (outC, inC*k*k)
-		dW := tensor.New(c.OutC, c.InC*c.Kernel*c.Kernel)
+		c.dW = tensor.Reuse2D(c.dW, c.OutC, c.InC*c.Kernel*c.Kernel)
+		dW := c.dW
 		tensor.MatMulTransAInto(dW, g, c.cols[s])
 		wg.AddInPlace(dW)
 		// dCols = g · W → (spatial, inC*k*k), then scatter back to image.
-		dCols := tensor.New(spatial, c.InC*c.Kernel*c.Kernel)
+		c.dCols = tensor.Reuse2D(c.dCols, spatial, c.InC*c.Kernel*c.Kernel)
+		dCols := c.dCols
 		tensor.MatMulInto(dCols, g, c.W.Value)
-		dImg := tensor.Col2Im(dCols, c.InC, c.InH, c.InW, c.Kernel, c.Stride, c.Pad)
-		copy(dx.Data()[s*c.InSize():(s+1)*c.InSize()], dImg.Data())
+		c.dImg = tensor.Col2ImInto(c.dImg, dCols, c.InC, c.InH, c.InW, c.Kernel, c.Stride, c.Pad)
+		copy(dx.Data()[s*c.InSize():(s+1)*c.InSize()], c.dImg.Data())
 	}
 	return dx
 }

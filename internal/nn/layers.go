@@ -10,7 +10,13 @@ import (
 // Layer is a differentiable module operating on batched activations shaped
 // (batch, features). Forward caches whatever Backward needs; a layer instance
 // therefore serves one forward/backward pair at a time and is not safe for
-// concurrent use.
+// concurrent use. The fleet trains in parallel by giving every vehicle its
+// own layer instances (one Policy each), never by sharing layers.
+//
+// Layers return SCRATCH tensors from Forward and Backward: the returned
+// tensor is owned by the layer and overwritten on its next call. Callers
+// that need the values past the next Forward/Backward must copy them (the
+// model layer's loss/prediction paths already do).
 type Layer interface {
 	// Forward computes the layer output for a batch of inputs.
 	Forward(x *tensor.Dense) *tensor.Dense
@@ -27,6 +33,12 @@ type Dense struct {
 	W, B    *Param
 
 	x *tensor.Dense // cached input
+	// Scratch tensors reused across steps to keep the training hot path
+	// allocation-free: the forward output, the weight-gradient accumulator,
+	// and the input gradient. Reuse is safe because each is fully
+	// overwritten per call and consumed before the next Forward/Backward
+	// on this layer.
+	out, wGrad, dx *tensor.Dense
 }
 
 var _ Layer = (*Dense)(nil)
@@ -51,7 +63,8 @@ func NewDense(name string, in, out int, rng *simrand.Rand) *Dense {
 func (d *Dense) Forward(x *tensor.Dense) *tensor.Dense {
 	d.x = x
 	batch := x.Shape()[0]
-	out := tensor.New(batch, d.Out)
+	d.out = tensor.Reuse2D(d.out, batch, d.Out)
+	out := d.out
 	tensor.MatMulInto(out, x, d.W.Value)
 	bd := d.B.Value.Data()
 	od := out.Data()
@@ -68,7 +81,8 @@ func (d *Dense) Forward(x *tensor.Dense) *tensor.Dense {
 func (d *Dense) Backward(grad *tensor.Dense) *tensor.Dense {
 	batch := grad.Shape()[0]
 	// dW += xᵀ·grad
-	wGrad := tensor.New(d.In, d.Out)
+	d.wGrad = tensor.Reuse2D(d.wGrad, d.In, d.Out)
+	wGrad := d.wGrad
 	tensor.MatMulTransAInto(wGrad, d.x, grad)
 	d.W.Grad.AddInPlace(wGrad)
 	// db += column sums of grad
@@ -81,7 +95,8 @@ func (d *Dense) Backward(grad *tensor.Dense) *tensor.Dense {
 		}
 	}
 	// dx = grad·Wᵀ
-	dx := tensor.New(batch, d.In)
+	d.dx = tensor.Reuse2D(d.dx, batch, d.In)
+	dx := d.dx
 	tensor.MatMulTransBInto(dx, grad, d.W.Value)
 	return dx
 }
@@ -92,6 +107,9 @@ func (d *Dense) Params() ParamSet { return ParamSet{d.W, d.B} }
 // ReLU is the rectified-linear activation.
 type ReLU struct {
 	mask []bool
+	// out and gout are scratch tensors reused across steps (fully
+	// overwritten per call).
+	out, gout *tensor.Dense
 }
 
 var _ Layer = (*ReLU)(nil)
@@ -101,15 +119,18 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
-	out := x.Clone()
+	r.out = tensor.ReuseLike(r.out, x)
+	out := r.out
 	od := out.Data()
+	xd := x.Data()
 	if cap(r.mask) < len(od) {
 		r.mask = make([]bool, len(od))
 	}
 	r.mask = r.mask[:len(od)]
-	for i, v := range od {
+	for i, v := range xd {
 		if v > 0 {
 			r.mask[i] = true
+			od[i] = v
 		} else {
 			r.mask[i] = false
 			od[i] = 0
@@ -120,10 +141,14 @@ func (r *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Dense) *tensor.Dense {
-	out := grad.Clone()
+	r.gout = tensor.ReuseLike(r.gout, grad)
+	out := r.gout
 	od := out.Data()
-	for i := range od {
-		if !r.mask[i] {
+	gd := grad.Data()
+	for i, g := range gd {
+		if r.mask[i] {
+			od[i] = g
+		} else {
 			od[i] = 0
 		}
 	}
@@ -135,7 +160,9 @@ func (r *ReLU) Params() ParamSet { return nil }
 
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
-	y *tensor.Dense
+	// y is the cached forward output (doubles as the reused output
+	// scratch); gout is the reused backward scratch.
+	y, gout *tensor.Dense
 }
 
 var _ Layer = (*Tanh)(nil)
@@ -145,22 +172,23 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Dense) *tensor.Dense {
-	out := x.Clone()
+	t.y = tensor.ReuseLike(t.y, x)
+	out := t.y
 	od := out.Data()
-	for i, v := range od {
+	for i, v := range x.Data() {
 		od[i] = math.Tanh(v)
 	}
-	t.y = out
 	return out
 }
 
 // Backward implements Layer.
 func (t *Tanh) Backward(grad *tensor.Dense) *tensor.Dense {
-	out := grad.Clone()
+	t.gout = tensor.ReuseLike(t.gout, grad)
+	out := t.gout
 	od := out.Data()
 	yd := t.y.Data()
-	for i := range od {
-		od[i] *= 1 - yd[i]*yd[i]
+	for i, g := range grad.Data() {
+		od[i] = g * (1 - yd[i]*yd[i])
 	}
 	return out
 }

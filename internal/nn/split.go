@@ -12,6 +12,8 @@ type SplitTail struct {
 	Tail  int
 
 	tailCache *tensor.Dense
+	// Scratch tensors reused across steps (fully overwritten per call).
+	head, out, innerGrad, dx *tensor.Dense
 }
 
 var _ Layer = (*SplitTail)(nil)
@@ -25,17 +27,19 @@ func NewSplitTail(inner Layer, tail int) *SplitTail {
 func (s *SplitTail) Forward(x *tensor.Dense) *tensor.Dense {
 	batch, cols := x.Shape()[0], x.Shape()[1]
 	headCols := cols - s.Tail
-	head := tensor.New(batch, headCols)
-	tail := tensor.New(batch, s.Tail)
+	s.head = tensor.Reuse2D(s.head, batch, headCols)
+	head := s.head
+	s.tailCache = tensor.Reuse2D(s.tailCache, batch, s.Tail)
+	tail := s.tailCache
 	for b := 0; b < batch; b++ {
 		row := x.Data()[b*cols : (b+1)*cols]
 		copy(head.Data()[b*headCols:(b+1)*headCols], row[:headCols])
 		copy(tail.Data()[b*s.Tail:(b+1)*s.Tail], row[headCols:])
 	}
-	s.tailCache = tail
 	innerOut := s.Inner.Forward(head)
 	outCols := innerOut.Shape()[1] + s.Tail
-	out := tensor.New(batch, outCols)
+	s.out = tensor.Reuse2D(s.out, batch, outCols)
+	out := s.out
 	for b := 0; b < batch; b++ {
 		copy(out.Data()[b*outCols:], innerOut.Data()[b*innerOut.Shape()[1]:(b+1)*innerOut.Shape()[1]])
 		copy(out.Data()[b*outCols+innerOut.Shape()[1]:], tail.Data()[b*s.Tail:(b+1)*s.Tail])
@@ -47,14 +51,16 @@ func (s *SplitTail) Forward(x *tensor.Dense) *tensor.Dense {
 func (s *SplitTail) Backward(grad *tensor.Dense) *tensor.Dense {
 	batch, outCols := grad.Shape()[0], grad.Shape()[1]
 	innerCols := outCols - s.Tail
-	innerGrad := tensor.New(batch, innerCols)
+	s.innerGrad = tensor.Reuse2D(s.innerGrad, batch, innerCols)
+	innerGrad := s.innerGrad
 	for b := 0; b < batch; b++ {
 		copy(innerGrad.Data()[b*innerCols:(b+1)*innerCols], grad.Data()[b*outCols:b*outCols+innerCols])
 	}
 	dHead := s.Inner.Backward(innerGrad)
 	headCols := dHead.Shape()[1]
 	inCols := headCols + s.Tail
-	dx := tensor.New(batch, inCols)
+	s.dx = tensor.Reuse2D(s.dx, batch, inCols)
+	dx := s.dx
 	for b := 0; b < batch; b++ {
 		copy(dx.Data()[b*inCols:b*inCols+headCols], dHead.Data()[b*headCols:(b+1)*headCols])
 		copy(dx.Data()[b*inCols+headCols:(b+1)*inCols], grad.Data()[b*outCols+innerCols:(b+1)*outCols])

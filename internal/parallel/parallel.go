@@ -1,0 +1,135 @@
+// Package parallel provides the deterministic fan-out primitives the
+// simulator's hot loops are built on: a bounded worker pool with
+// order-preserving Map/ForEach helpers and a contiguous-chunk splitter for
+// data-parallel kernels.
+//
+// Determinism contract: every helper assigns work by index, writes results
+// into index-addressed slots, and reduces (where it reduces at all) in index
+// order. A computation whose per-index work is itself deterministic therefore
+// produces bit-identical output at any worker count, including the inline
+// serial path taken when workers == 1 — which is exactly the pre-parallel
+// behavior of the code that now calls these helpers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a configured worker count to an effective one: zero or
+// negative means "one worker per logical CPU" (GOMAXPROCS), the repository's
+// default everywhere a Workers knob exists.
+func Resolve(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n). With an effective worker count of
+// one (or n <= 1) it runs inline, serially, in index order. Otherwise up to
+// `workers` goroutines pull indices from a shared counter until the range is
+// drained; fn must only mutate state owned by its index (shared state may be
+// read). A panic in any fn is re-raised on the calling goroutine, matching
+// the serial path's behavior.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicV != nil {
+		panic(panicV)
+	}
+}
+
+// Map runs fn for every index and returns the results in index order,
+// regardless of which worker computed what.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible work. All indices run to completion; if any
+// failed, the error at the LOWEST failing index is returned — the same error
+// a serial loop that stops at the first failure would surface — alongside
+// the full result slice.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Chunks splits [0, n) into at most `workers` contiguous ranges and runs
+// fn(lo, hi) on each concurrently. Chunk boundaries depend only on (workers,
+// n), so a kernel whose per-element work is independent of its chunk
+// assignment stays bit-identical across worker counts. With one effective
+// worker the whole range runs inline as fn(0, n).
+func Chunks(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	numChunks := (n + chunk - 1) / chunk
+	ForEach(workers, numChunks, func(ci int) {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}

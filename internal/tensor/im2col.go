@@ -7,12 +7,19 @@ package tensor
 // (outH*outW, channels*kernel*kernel) matrix for the given kernel size,
 // stride, and zero padding.
 func Im2Col(img *Dense, kernel, stride, pad int) *Dense {
+	return Im2ColInto(nil, img, kernel, stride, pad)
+}
+
+// Im2ColInto is Im2Col writing into dst, which is reused when its capacity
+// suffices and reallocated otherwise (dst may be nil). Every element of the
+// result is written, so no clearing is needed.
+func Im2ColInto(dst, img *Dense, kernel, stride, pad int) *Dense {
 	c, h, w := img.shape[0], img.shape[1], img.shape[2]
 	outH := (h+2*pad-kernel)/stride + 1
 	outW := (w+2*pad-kernel)/stride + 1
-	cols := New(outH*outW, c*kernel*kernel)
+	cols := Reuse2D(dst, outH*outW, c*kernel*kernel)
 	src := img.data
-	dst := cols.data
+	out := cols.data
 	rowLen := c * kernel * kernel
 	for oy := 0; oy < outH; oy++ {
 		for ox := 0; ox < outW; ox++ {
@@ -24,10 +31,10 @@ func Im2Col(img *Dense, kernel, stride, pad int) *Dense {
 						ix := ox*stride + kx - pad
 						di := base + (ch*kernel+ky)*kernel + kx
 						if iy < 0 || iy >= h || ix < 0 || ix >= w {
-							dst[di] = 0
+							out[di] = 0
 							continue
 						}
-						dst[di] = src[(ch*h+iy)*w+ix]
+						out[di] = src[(ch*h+iy)*w+ix]
 					}
 				}
 			}
@@ -39,11 +46,31 @@ func Im2Col(img *Dense, kernel, stride, pad int) *Dense {
 // Col2Im is the adjoint of Im2Col: it scatters gradient columns back into an
 // image-shaped gradient, accumulating where receptive fields overlap.
 func Col2Im(cols *Dense, channels, height, width, kernel, stride, pad int) *Dense {
+	return Col2ImInto(nil, cols, channels, height, width, kernel, stride, pad)
+}
+
+// Col2ImInto is Col2Im writing into dst, which is reused (and zeroed — the
+// scatter accumulates) when its capacity suffices, reallocated otherwise
+// (dst may be nil).
+func Col2ImInto(dst, cols *Dense, channels, height, width, kernel, stride, pad int) *Dense {
 	outH := (height+2*pad-kernel)/stride + 1
 	outW := (width+2*pad-kernel)/stride + 1
-	img := New(channels, height, width)
+	n := channels * height * width
+	var img *Dense
+	if dst == nil || cap(dst.data) < n {
+		img = New(channels, height, width)
+	} else {
+		img = dst
+		img.data = img.data[:n]
+		if len(img.shape) == 3 {
+			img.shape[0], img.shape[1], img.shape[2] = channels, height, width
+		} else {
+			img.shape = []int{channels, height, width}
+		}
+		img.Zero()
+	}
 	src := cols.data
-	dst := img.data
+	out := img.data
 	rowLen := channels * kernel * kernel
 	for oy := 0; oy < outH; oy++ {
 		for ox := 0; ox < outW; ox++ {
@@ -59,7 +86,7 @@ func Col2Im(cols *Dense, channels, height, width, kernel, stride, pad int) *Dens
 						if ix < 0 || ix >= width {
 							continue
 						}
-						dst[(ch*height+iy)*width+ix] += src[base+(ch*kernel+ky)*kernel+kx]
+						out[(ch*height+iy)*width+ix] += src[base+(ch*kernel+ky)*kernel+kx]
 					}
 				}
 			}

@@ -1,6 +1,34 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+
+	"lbchat/internal/parallel"
+)
+
+// workerCount is the package-wide worker budget for data-parallel kernels.
+// Zero (the default) resolves to GOMAXPROCS; one disables parallel kernels
+// entirely. It is read on every large matmul, so it is an atomic rather than
+// a plain variable.
+var workerCount atomic.Int64
+
+// SetWorkers sets the worker budget for parallel kernels. n <= 0 restores
+// the default (one worker per logical CPU); 1 forces the serial paths.
+func SetWorkers(n int) { workerCount.Store(int64(n)) }
+
+// Workers returns the effective worker count for parallel kernels.
+func Workers() int { return parallel.Resolve(int(workerCount.Load())) }
+
+// matMulParallelFlops is the minimum multiply-accumulate count before a
+// matmul fans out across workers. Chosen from the BenchmarkMatMul* data in
+// matmul_bench_test.go: goroutine dispatch costs a few microseconds (~10k
+// FLOPs of ikj matmul), so each worker must amortize well above that. At
+// 1<<20 MACs split 16 ways a worker gets ≥64k MACs (~20µs), keeping dispatch
+// overhead under a few percent, while the default policy's training-step
+// matmuls (16×771×64 ≈ 790k MACs) stay on the serial path — they sit inside
+// the per-vehicle parallel loop, which already owns the cores at that scale.
+const matMulParallelFlops = 1 << 20
 
 // MatMul computes C = A·B for 2D tensors A (m×k) and B (k×n), writing into a
 // newly allocated m×n tensor.
@@ -16,15 +44,31 @@ func MatMul(a, b *Dense) *Dense {
 }
 
 // MatMulInto computes dst = A·B, reusing dst's storage. dst must be m×n.
+//
+// Above matMulParallelFlops the row range is split into contiguous chunks,
+// one per worker. Each output row is produced by exactly the same arithmetic
+// in exactly the same order as the serial path, so results are bit-identical
+// at any worker count.
 func MatMulInto(dst, a, b *Dense) {
 	m, k := mustMatrix(a)
 	_, n := mustMatrix(b)
 	ad, bd, cd := a.data, b.data, dst.data
-	for i := range cd {
+	if w := Workers(); w > 1 && m > 1 && m*k*n >= matMulParallelFlops {
+		parallel.Chunks(w, m, func(lo, hi int) {
+			matMulRows(cd, ad, bd, lo, hi, k, n)
+		})
+		return
+	}
+	matMulRows(cd, ad, bd, 0, m, k, n)
+}
+
+// matMulRows computes rows [lo, hi) of C = A·B.
+func matMulRows(cd, ad, bd []float64, lo, hi, k, n int) {
+	for i := lo*n; i < hi*n; i++ {
 		cd[i] = 0
 	}
 	// ikj loop order: streams through b and c rows sequentially.
-	for i := 0; i < m; i++ {
+	for i := lo; i < hi; i++ {
 		arow := ad[i*k : (i+1)*k]
 		crow := cd[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {
@@ -42,6 +86,11 @@ func MatMulInto(dst, a, b *Dense) {
 
 // MatMulTransAInto computes dst = Aᵀ·B where A is k×m and B is k×n;
 // dst must be m×n. Used for weight gradients.
+//
+// This kernel stays serial: its outer loop runs over the shared reduction
+// dimension k, with every iteration accumulating into the whole of dst, so a
+// row split would either race or have to reorder the floating-point
+// accumulation and break bit-determinism.
 func MatMulTransAInto(dst, a, b *Dense) {
 	k, m := mustMatrix(a)
 	k2, n := mustMatrix(b)
@@ -68,19 +117,31 @@ func MatMulTransAInto(dst, a, b *Dense) {
 }
 
 // MatMulTransBInto computes dst = A·Bᵀ where A is m×k and B is n×k;
-// dst must be m×n. Used for input gradients.
+// dst must be m×n. Used for input gradients. Rows of dst are independent, so
+// large shapes take the same chunked-parallel path as MatMulInto.
 func MatMulTransBInto(dst, a, b *Dense) {
 	m, k := mustMatrix(a)
 	n, k2 := mustMatrix(b)
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: matmulTransB inner dimension mismatch %v x %v", a.shape, b.shape))
 	}
-	cd := dst.data
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
+	ad, bd, cd := a.data, b.data, dst.data
+	if w := Workers(); w > 1 && m > 1 && m*k*n >= matMulParallelFlops {
+		parallel.Chunks(w, m, func(lo, hi int) {
+			matMulTransBRows(cd, ad, bd, lo, hi, k, n)
+		})
+		return
+	}
+	matMulTransBRows(cd, ad, bd, 0, m, k, n)
+}
+
+// matMulTransBRows computes rows [lo, hi) of C = A·Bᵀ.
+func matMulTransBRows(cd, ad, bd []float64, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		arow := ad[i*k : (i+1)*k]
 		crow := cd[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
-			brow := b.data[j*k : (j+1)*k]
+			brow := bd[j*k : (j+1)*k]
 			var acc float64
 			for p, av := range arow {
 				acc += av * brow[p]

@@ -62,6 +62,45 @@ func (t *Dense) Clone() *Dense {
 	return out
 }
 
+// Reuse2D returns a (rows, cols) matrix, reusing t's storage when its
+// capacity suffices and allocating otherwise (t may be nil). The returned
+// tensor's CONTENTS ARE UNSPECIFIED — callers must overwrite every element.
+// This is the scratch-reuse primitive behind the allocation-free training
+// hot path in internal/nn.
+func Reuse2D(t *Dense, rows, cols int) *Dense {
+	n := rows * cols
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: non-positive reuse shape %dx%d", rows, cols))
+	}
+	if t == nil || cap(t.data) < n {
+		return New(rows, cols)
+	}
+	t.data = t.data[:n]
+	if len(t.shape) == 2 {
+		t.shape[0], t.shape[1] = rows, cols
+	} else {
+		t.shape = []int{rows, cols}
+	}
+	return t
+}
+
+// ReuseLike is Reuse2D with the target shape taken from ref (any rank).
+// Contents are unspecified, exactly as for Reuse2D.
+func ReuseLike(t *Dense, ref *Dense) *Dense {
+	n := len(ref.data)
+	if t == nil || cap(t.data) < n {
+		t = &Dense{data: make([]float64, n)}
+	} else {
+		t.data = t.data[:n]
+	}
+	if len(t.shape) == len(ref.shape) {
+		copy(t.shape, ref.shape)
+	} else {
+		t.shape = append([]int(nil), ref.shape...)
+	}
+	return t
+}
+
 // Reshape returns a view of the same data with a new shape of equal volume.
 func (t *Dense) Reshape(shape ...int) *Dense {
 	return FromSlice(t.data, shape...)
