@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench telemetry-smoke ci
 
 build:
 	$(GO) build ./...
@@ -20,4 +20,14 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
 
-ci: build vet test race
+# End-to-end check of the telemetry pipeline: a tiny sim writes its event
+# stream as JSONL, and telemetry-lint fails unless the file is non-empty
+# and every line decodes against the event schema.
+telemetry-smoke:
+	$(eval TMPDIR_SMOKE := $(shell mktemp -d))
+	$(GO) run ./cmd/lbchat-sim -scale test -vehicles 4 -duration 120 \
+		-telemetry-out $(TMPDIR_SMOKE)/events.jsonl > /dev/null
+	$(GO) run ./cmd/telemetry-lint $(TMPDIR_SMOKE)/events.jsonl
+	rm -rf $(TMPDIR_SMOKE)
+
+ci: build vet test race telemetry-smoke

@@ -1,0 +1,115 @@
+// Package cli collects the flag handling shared by the lbchat commands so
+// -seed, -workers, -scale, and -telemetry-out parse and behave identically
+// everywhere.
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"lbchat/internal/experiments"
+	"lbchat/internal/telemetry"
+	"lbchat/internal/tensor"
+)
+
+// Common holds the parsed shared flags.
+type Common struct {
+	// Seed is the root random seed (-seed). It only overrides the scale's
+	// own seed when the flag was given explicitly, so e.g. -scale test
+	// keeps its historical seed by default.
+	Seed uint64
+	// Workers bounds parallelism at every level (-workers); 0 = one per
+	// CPU, 1 = serial. Results are bit-identical at any setting.
+	Workers int
+	// ScaleName names the experiment scale (-scale): test, bench, full.
+	ScaleName string
+	// TelemetryOut is the JSONL event-stream output path (-telemetry-out);
+	// empty disables the stream sink.
+	TelemetryOut string
+
+	fs *flag.FlagSet
+}
+
+// Register installs the shared flags on fs and returns the struct they
+// parse into.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{fs: fs}
+	fs.Uint64Var(&c.Seed, "seed", 7, "root random seed (default: the scale's own seed)")
+	fs.IntVar(&c.Workers, "workers", 0,
+		"parallel workers at every level (0 = one per CPU, 1 = serial); results are bit-identical at any setting")
+	fs.StringVar(&c.ScaleName, "scale", "bench", "experiment scale: test, bench, or full")
+	fs.StringVar(&c.TelemetryOut, "telemetry-out", "",
+		"write the run's telemetry event stream as JSONL to this file")
+	return c
+}
+
+// Scale resolves -scale with the -seed and -workers overrides applied, and
+// configures tensor-level parallelism to match.
+func (c *Common) Scale() (experiments.Scale, error) {
+	scale, err := experiments.ScaleByName(c.ScaleName)
+	if err != nil {
+		return experiments.Scale{}, err
+	}
+	if c.flagSet("seed") {
+		scale.Seed = c.Seed
+	}
+	scale.Workers = c.Workers
+	tensor.SetWorkers(c.Workers)
+	return scale, nil
+}
+
+// flagSet reports whether the named flag was given explicitly.
+func (c *Common) flagSet(name string) bool {
+	set := false
+	c.fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// OpenSink opens the -telemetry-out JSONL sink, or returns nil when the
+// flag is unset. The caller must Close a non-nil sink to flush it.
+func (c *Common) OpenSink() (telemetry.Sink, error) {
+	if c.TelemetryOut == "" {
+		return nil, nil
+	}
+	f, err := os.Create(c.TelemetryOut)
+	if err != nil {
+		return nil, fmt.Errorf("opening -telemetry-out: %w", err)
+	}
+	return telemetry.NewJSONL(f), nil
+}
+
+// CloseSink closes a sink from OpenSink and reports where the stream went.
+// Safe on nil sinks and best-effort: errors are returned for the caller to
+// surface.
+func (c *Common) CloseSink(sink telemetry.Sink) error {
+	if sink == nil {
+		return nil
+	}
+	if err := sink.Close(); err != nil {
+		return fmt.Errorf("closing -telemetry-out: %w", err)
+	}
+	fmt.Printf("Wrote telemetry event stream to %s\n", c.TelemetryOut)
+	return nil
+}
+
+// SignalContext returns a context canceled on SIGINT/SIGTERM, so long
+// experiment runs stop at the next engine tick and report partial results.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// WorkersLabel formats a worker count for output ("auto" for 0).
+func WorkersLabel(n int) string {
+	if n <= 0 {
+		return "auto"
+	}
+	return fmt.Sprintf("%d", n)
+}

@@ -1,12 +1,14 @@
 // Command lbchat-bench regenerates the paper's tables and figures
 // end-to-end: it builds the driving world, collects per-vehicle datasets,
 // records mobility traces, trains fleets under every protocol, and prints
-// each artifact in the paper's layout.
+// each artifact in the paper's layout, followed by a per-protocol
+// communication-efficiency report (bytes on air vs final loss).
 //
 // Usage:
 //
 //	lbchat-bench -exp all -scale bench
 //	lbchat-bench -exp fig2a,tab2 -scale full -workers 8
+//	lbchat-bench -exp fig2b -telemetry-out events.jsonl
 //	lbchat-bench -speedup -workers 4
 //
 // Experiments: fig2a fig2b recvrate tab2 tab3 tab4 tab5 tab6 tab7 fig3 all.
@@ -14,15 +16,18 @@
 // Every experiment reports its wall-clock time; -speedup additionally
 // calibrates the configured worker count against the serial baseline on one
 // LbChat training run. Results are bit-identical at every -workers setting.
+// SIGINT cancels at the next engine tick and reports partial results.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"lbchat/cmd/internal/cli"
 	"lbchat/internal/experiments"
 	"lbchat/internal/metrics"
 	"lbchat/internal/tensor"
@@ -35,26 +40,25 @@ func main() {
 	}
 }
 
+// errCanceled stops the experiment sequence after a partial run.
+var errCanceled = fmt.Errorf("canceled: partial results above")
+
 func run() error {
 	expFlag := flag.String("exp", "all", "comma-separated experiments: fig2a,fig2b,recvrate,tab2,tab3,tab4,tab5,tab6,tab7,fig3,all; extensions: routeshare,methods,adaptive,hetero,quant")
-	scaleFlag := flag.String("scale", "bench", "experiment scale: test, bench, or full")
-	workersFlag := flag.Int("workers", 0, "parallel workers at every level (0 = one per CPU, 1 = serial); results are bit-identical at any setting")
 	speedupFlag := flag.Bool("speedup", false, "measure the -workers speedup vs the serial baseline on one LbChat run, then exit")
+	common := cli.Register(flag.CommandLine)
 	flag.Parse()
 
-	var scale experiments.Scale
-	switch *scaleFlag {
-	case "test":
-		scale = experiments.TestScale()
-	case "bench":
-		scale = experiments.BenchScale()
-	case "full":
-		scale = experiments.FullScale()
-	default:
-		return fmt.Errorf("unknown scale %q", *scaleFlag)
+	scale, err := common.Scale()
+	if err != nil {
+		return err
 	}
-	scale.Workers = *workersFlag
-	tensor.SetWorkers(*workersFlag)
+	sink, err := common.OpenSink()
+	if err != nil {
+		return err
+	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expFlag, ",") {
@@ -64,7 +68,7 @@ func run() error {
 	selected := func(name string) bool { return all || want[name] }
 
 	fmt.Printf("Building environment (scale=%s: %d vehicles, %d frames/vehicle, %.0fs training, workers=%s)...\n",
-		scale.Name, scale.Vehicles, scale.CollectTicks, scale.TrainDuration, workersLabel(*workersFlag))
+		scale.Name, scale.Vehicles, scale.CollectTicks, scale.TrainDuration, cli.WorkersLabel(common.Workers))
 	buildStart := time.Now()
 	env, err := experiments.BuildEnv(scale)
 	if err != nil {
@@ -73,7 +77,7 @@ func run() error {
 	fmt.Printf("-- environment built in %s\n", time.Since(buildStart).Round(time.Millisecond))
 
 	if *speedupFlag {
-		return measureSpeedup(env, *workersFlag)
+		return measureSpeedup(env, common.Workers)
 	}
 
 	// timed runs one experiment and reports its wall-clock, so scale and
@@ -81,48 +85,75 @@ func run() error {
 	timed := func(name string, fn func() error) error {
 		start := time.Now()
 		if err := fn(); err != nil {
+			if err == errCanceled {
+				return err
+			}
 			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("-- %s finished in %s\n", name, time.Since(start).Round(time.Millisecond))
 		return nil
 	}
-	renderTable := func(name, header string, build func() (*metrics.Table, error)) error {
+	// runExp trains/evaluates one Run-API experiment and prints its table
+	// plus the communication-efficiency report for the runs it performed.
+	runExp := func(name, header, experiment string, lossless bool) error {
 		return timed(name, func() error {
 			fmt.Printf("\n=== %s ===\n", header)
-			tbl, err := build()
+			res, err := experiments.Run(ctx, experiments.Spec{
+				Experiment: experiment, Lossless: lossless, Env: env, Telemetry: sink,
+			})
 			if err != nil {
 				return err
 			}
-			fmt.Print(tbl.Render())
+			if res.Table != nil {
+				fmt.Print(res.Table.Render())
+			}
+			fmt.Print(experiments.CommTable(res.Runs).Render())
+			if res.Canceled {
+				return errCanceled
+			}
 			return nil
 		})
 	}
 
 	// Fig. 2 runs are shared with Tables II/III and the receive rates.
-	var runsLossless, runsLossy []*experiments.Run
+	var runsLossless, runsLossy []*experiments.ProtocolRun
 	needLossless := selected("fig2a") || selected("tab2")
 	needLossy := selected("fig2b") || selected("tab3") || selected("recvrate")
 
+	trainAll := func(lossless bool, into *[]*experiments.ProtocolRun) error {
+		regime := "W/O wireless loss"
+		if !lossless {
+			regime = "W wireless loss"
+		}
+		fmt.Printf("\n== Training all protocols (%s)...\n", regime)
+		return timed("training ("+regime+")", func() error {
+			res, err := experiments.Run(ctx, experiments.Spec{
+				Experiment: experiments.ExpFig2, Lossless: lossless, Env: env, Telemetry: sink,
+			})
+			if err != nil {
+				return err
+			}
+			*into = res.Runs
+			fmt.Printf("\n=== Communication efficiency (%s) ===\n", regime)
+			fmt.Print(experiments.CommTable(res.Runs).Render())
+			if res.Canceled {
+				return errCanceled
+			}
+			return nil
+		})
+	}
 	if needLossless {
-		fmt.Println("\n== Training all protocols (W/O wireless loss)...")
-		if err := timed("training (W/O wireless loss)", func() error {
-			runsLossless, err = env.Fig2(true)
-			return err
-		}); err != nil {
+		if err := trainAll(true, &runsLossless); err != nil {
 			return err
 		}
 	}
 	if needLossy {
-		fmt.Println("\n== Training all protocols (W wireless loss)...")
-		if err := timed("training (W wireless loss)", func() error {
-			runsLossy, err = env.Fig2(false)
-			return err
-		}); err != nil {
+		if err := trainAll(false, &runsLossy); err != nil {
 			return err
 		}
 	}
 
-	plot := func(runs []*experiments.Run) string {
+	plot := func(runs []*experiments.ProtocolRun) string {
 		curves := make([]*metrics.Curve, len(runs))
 		for i := range runs {
 			curves[i] = &runs[i].Curve
@@ -164,84 +195,94 @@ func run() error {
 		}
 	}
 	if selected("tab4") {
-		if err := renderTable("Table IV", "Table IV (coreset-size sweep)", env.Table4); err != nil {
+		if err := runExp("Table IV", "Table IV (coreset-size sweep)", experiments.ExpTable4, false); err != nil {
 			return err
 		}
 	}
 	if selected("tab5") {
-		if err := renderTable("Table V", "Table V (equal compression ablation)", env.Table5); err != nil {
+		if err := runExp("Table V", "Table V (equal compression ablation)", experiments.ExpTable5, false); err != nil {
 			return err
 		}
 	}
 	if selected("tab6") {
-		if err := renderTable("Table VI", "Table VI (average aggregation ablation)", env.Table6); err != nil {
+		if err := runExp("Table VI", "Table VI (average aggregation ablation)", experiments.ExpTable6, false); err != nil {
 			return err
 		}
 	}
 	if selected("tab7") {
-		if err := renderTable("Table VII", "Table VII (sharing coreset only)", env.Table7); err != nil {
+		if err := runExp("Table VII", "Table VII (sharing coreset only)", experiments.ExpTable7, false); err != nil {
 			return err
 		}
 	}
 	if want["routeshare"] {
-		if err := renderTable("route-sharing study", "Extension: route-sharing (Eq. 5) ablation", env.RouteSharingStudy); err != nil {
+		if err := runExp("route-sharing study", "Extension: route-sharing (Eq. 5) ablation", experiments.ExpRouteShare, false); err != nil {
 			return err
 		}
 	}
 	if want["methods"] {
-		if err := renderTable("coreset-method study", "Extension: coreset construction methods (§V)",
-			func() (*metrics.Table, error) { return env.CoresetMethodStudy(true) }); err != nil {
+		if err := runExp("coreset-method study", "Extension: coreset construction methods (§V)", experiments.ExpMethods, true); err != nil {
 			return err
 		}
 	}
 	if want["hetero"] {
-		if err := renderTable("heterogeneity study", "Extension: bandwidth heterogeneity (footnote 1 future work)",
-			func() (*metrics.Table, error) { return env.HeterogeneityStudy(true) }); err != nil {
+		if err := runExp("heterogeneity study", "Extension: bandwidth heterogeneity (footnote 1 future work)", experiments.ExpHetero, true); err != nil {
 			return err
 		}
 	}
 	if want["quant"] {
-		if err := renderTable("compression-scheme study", "Extension: compression schemes (top-k vs quantization)",
-			func() (*metrics.Table, error) { return env.CompressionSchemeStudy(true) }); err != nil {
+		if err := runExp("compression-scheme study", "Extension: compression schemes (top-k vs quantization)", experiments.ExpQuant, true); err != nil {
 			return err
 		}
 	}
 	if want["adaptive"] {
-		if err := renderTable("adaptive-coreset study", "Extension: adaptive coreset sizing (future work)",
-			func() (*metrics.Table, error) { return env.AdaptiveCoresetStudy(true) }); err != nil {
+		if err := runExp("adaptive-coreset study", "Extension: adaptive coreset sizing (future work)", experiments.ExpAdaptive, true); err != nil {
 			return err
 		}
 	}
 	if selected("fig3") {
 		if err := timed("Figure 3", func() error {
 			fmt.Println("\n=== Figure 3 (LbChat vs SCO) ===")
-			lb, sco, ratio, err := env.Fig3(true)
+			res, err := experiments.Run(ctx, experiments.Spec{
+				Experiment: experiments.ExpFig3, Lossless: true, Env: env, Telemetry: sink,
+			})
 			if err != nil {
 				return err
 			}
+			lb, sco := res.Runs[0], res.Runs[1]
 			fmt.Print(metrics.PlotCurves(72, 18, &lb.Curve, &sco.Curve))
 			fmt.Print(lb.Curve.Render())
 			fmt.Print(sco.Curve.Render())
-			fmt.Printf("SCO convergence slowdown vs LbChat: %.2fx (paper: 1.5-1.8x)\n", ratio)
+			fmt.Printf("SCO convergence slowdown vs LbChat: %.2fx (paper: 1.5-1.8x)\n", res.Ratio)
+			fmt.Print(experiments.CommTable(res.Runs).Render())
+			if res.Canceled {
+				return errCanceled
+			}
 			return nil
 		}); err != nil {
 			return err
 		}
 	}
-	return nil
+	return common.CloseSink(sink)
 }
 
 // measureSpeedup trains one LbChat fleet serially and again at the
 // configured worker count, verifies the two runs agree bit for bit, and
 // reports the wall-clock ratio.
 func measureSpeedup(env *experiments.Env, workers int) error {
-	runOnce := func(w int) (*experiments.Run, time.Duration, error) {
+	runOnce := func(w int) (*experiments.ProtocolRun, time.Duration, error) {
 		tensor.SetWorkers(w)
 		e := *env
 		e.Scale.Workers = w
 		start := time.Now()
-		run, err := e.RunProtocol(experiments.ProtoLbChat, false, nil)
-		return run, time.Since(start), err
+		res, err := experiments.Run(context.Background(), experiments.Spec{
+			Experiment: experiments.ExpProtocol,
+			Protocol:   experiments.ProtoLbChat,
+			Env:        &e,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return res.Runs[0], time.Since(start), nil
 	}
 	fmt.Println("\n== Speedup calibration: one LbChat run (W wireless loss) ==")
 	serialRun, serialTime, err := runOnce(1)
@@ -253,7 +294,7 @@ func measureSpeedup(env *experiments.Env, workers int) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workers=%s: %s\n", workersLabel(workers), parTime.Round(time.Millisecond))
+	fmt.Printf("workers=%s: %s\n", cli.WorkersLabel(workers), parTime.Round(time.Millisecond))
 	fmt.Printf("speedup: %.2fx\n", serialTime.Seconds()/parTime.Seconds())
 	if serialRun.Curve.Final() != parRun.Curve.Final() || serialRun.Recv != parRun.Recv {
 		return fmt.Errorf("determinism violation: serial and parallel runs disagree (final loss %v vs %v)",
@@ -261,12 +302,4 @@ func measureSpeedup(env *experiments.Env, workers int) error {
 	}
 	fmt.Println("determinism check: serial and parallel runs agree")
 	return nil
-}
-
-// workersLabel formats a worker count for output ("auto" for 0).
-func workersLabel(n int) string {
-	if n <= 0 {
-		return "auto"
-	}
-	return fmt.Sprintf("%d", n)
 }

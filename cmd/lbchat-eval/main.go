@@ -7,7 +7,7 @@
 // Usage:
 //
 //	lbchat-eval -protocol LbChat -trials 16
-//	lbchat-eval -protocol DP -wireless-loss
+//	lbchat-eval -protocol DP -wireless-loss -telemetry-out events.jsonl
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"lbchat/cmd/internal/cli"
 	"lbchat/internal/eval"
 	"lbchat/internal/experiments"
 	"lbchat/internal/model"
@@ -36,15 +37,20 @@ func run() error {
 	duration := flag.Float64("duration", 1800, "virtual training duration (s)")
 	trials := flag.Int("trials", 16, "driving trials per condition")
 	lossy := flag.Bool("wireless-loss", false, "enable the distance-based wireless loss model")
-	seed := flag.Uint64("seed", 7, "root random seed")
 	loadDir := flag.String("load-fleet", "", "skip training: load model blobs saved by lbchat-sim -save-fleet")
+	common := cli.Register(flag.CommandLine)
 	flag.Parse()
 
-	scale := experiments.BenchScale()
+	scale, err := common.Scale()
+	if err != nil {
+		return err
+	}
 	scale.Vehicles = *vehicles
 	scale.TrainDuration = *duration
 	scale.EvalTrials = *trials
-	scale.Seed = *seed
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
 
 	fmt.Printf("Building environment (%d vehicles)...\n", scale.Vehicles)
 	env, err := experiments.BuildEnv(scale)
@@ -77,13 +83,31 @@ func run() error {
 		}
 		fmt.Printf("Loaded %d models from %s\n", len(fleet), *loadDir)
 	} else {
-		fmt.Printf("Training fleet under %s (%.0fs virtual, wireless loss: %v)...\n",
-			*protocol, *duration, *lossy)
-		run, err := env.RunProtocol(experiments.ProtocolName(*protocol), !*lossy, nil)
+		sink, err := common.OpenSink()
 		if err != nil {
 			return err
 		}
+		fmt.Printf("Training fleet under %s (%.0fs virtual, wireless loss: %v)...\n",
+			*protocol, *duration, *lossy)
+		res, err := experiments.Run(ctx, experiments.Spec{
+			Experiment: experiments.ExpProtocol,
+			Protocol:   experiments.ProtocolName(*protocol),
+			Lossless:   !*lossy,
+			Env:        env,
+			Telemetry:  sink,
+		})
+		if err != nil {
+			return err
+		}
+		run := res.Runs[0]
+		if res.Canceled {
+			return fmt.Errorf("training canceled")
+		}
 		fmt.Printf("Final probe loss: %.4f\n", run.Curve.Final())
+		fmt.Print(experiments.CommTable(res.Runs).Render())
+		if err := common.CloseSink(sink); err != nil {
+			return err
+		}
 		fleet = run.Fleet
 	}
 

@@ -1,11 +1,12 @@
 // Command lbchat-sim runs one co-simulation: a fleet of vehicles training
 // under a chosen protocol over a generated mobility trace, printing the
-// probe-loss curve and communication statistics.
+// probe-loss curve, communication statistics, and the run's
+// communication-efficiency summary.
 //
 // Usage:
 //
 //	lbchat-sim -protocol LbChat -vehicles 8 -duration 1800
-//	lbchat-sim -protocol DP -wireless-loss
+//	lbchat-sim -protocol DP -wireless-loss -telemetry-out events.jsonl
 package main
 
 import (
@@ -16,9 +17,10 @@ import (
 	"path/filepath"
 	"time"
 
+	"lbchat/cmd/internal/cli"
+	"lbchat/internal/core"
 	"lbchat/internal/experiments"
 	"lbchat/internal/metrics"
-	"lbchat/internal/tensor"
 )
 
 func main() {
@@ -34,34 +36,45 @@ func run() error {
 	vehicles := flag.Int("vehicles", 8, "expert fleet size")
 	duration := flag.Float64("duration", 1800, "virtual training duration (s)")
 	lossy := flag.Bool("wireless-loss", false, "enable the distance-based wireless loss model")
-	seed := flag.Uint64("seed", 7, "root random seed")
 	logChats := flag.Bool("log-chats", false, "trace every pairwise chat decision to stderr")
 	saveDir := flag.String("save-fleet", "", "directory to write the trained fleet's model blobs into")
 	jsonPath := flag.String("json", "", "write the loss curve and transfer stats as JSON to this file")
-	workers := flag.Int("workers", 0, "parallel workers for vehicle ticks (0 = one per CPU, 1 = serial); results are bit-identical at any setting")
+	common := cli.Register(flag.CommandLine)
 	flag.Parse()
 
-	scale := experiments.BenchScale()
-	scale.Vehicles = *vehicles
-	scale.TrainDuration = *duration
-	scale.Seed = *seed
-	scale.Workers = *workers
-	tensor.SetWorkers(*workers)
-
-	fmt.Printf("Building environment: %d vehicles on a %d-tick trace...\n",
-		scale.Vehicles, scale.TraceTicks)
-	env, err := experiments.BuildEnv(scale)
+	scale, err := common.Scale()
 	if err != nil {
 		return err
 	}
-	env.Cfg.LogChats = *logChats
+	scale.Vehicles = *vehicles
+	scale.TrainDuration = *duration
 
+	sink, err := common.OpenSink()
+	if err != nil {
+		return err
+	}
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	fmt.Printf("Building environment: %d vehicles on a %d-tick trace...\n",
+		scale.Vehicles, scale.TraceTicks)
 	fmt.Printf("Running %s for %.0fs of virtual time (wireless loss: %v)...\n",
 		*protocol, *duration, *lossy)
 	start := time.Now()
-	run, err := env.RunProtocol(experiments.ProtocolName(*protocol), !*lossy, nil)
+	res, err := experiments.Run(ctx, experiments.Spec{
+		Experiment: experiments.ExpProtocol,
+		Protocol:   experiments.ProtocolName(*protocol),
+		Lossless:   !*lossy,
+		Scale:      &scale,
+		Telemetry:  sink,
+		Config:     func(c *core.Config) { c.LogChats = *logChats },
+	})
 	if err != nil {
 		return err
+	}
+	run := res.Runs[0]
+	if res.Canceled {
+		fmt.Println("Run canceled: reporting partial results")
 	}
 	fmt.Printf("Run finished in %s wall-clock\n", time.Since(start).Round(time.Millisecond))
 
@@ -73,6 +86,11 @@ func run() error {
 			stats.Attempts, stats.Successes, 100*stats.Rate())
 	} else {
 		fmt.Println("\nModel transfers: none (coreset-only or no encounters)")
+	}
+	fmt.Println("\nCommunication efficiency:")
+	fmt.Print(experiments.CommTable(res.Runs).Render())
+	if err := common.CloseSink(sink); err != nil {
+		return err
 	}
 	if *jsonPath != "" {
 		payload := struct {

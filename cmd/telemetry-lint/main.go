@@ -1,0 +1,66 @@
+// Command telemetry-lint validates a telemetry JSONL event stream written
+// by -telemetry-out: it decodes every line against the event schema and
+// prints per-kind counts. A file that is empty, has undecodable lines, or
+// contains unknown event kinds fails with a non-zero exit, so the stream
+// format stays machine-readable (make telemetry-smoke relies on this).
+//
+// Usage:
+//
+//	telemetry-lint events.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lbchat/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry-lint: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: telemetry-lint <events.jsonl>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return fmt.Errorf("expected exactly one input file")
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	events, err := telemetry.ReadJSONL(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("%s: no events", path)
+	}
+	counts := map[string]int{}
+	for _, ev := range events {
+		counts[ev.Kind()]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Printf("%s: %d events, %d kinds\n", path, len(events), len(kinds))
+	for _, k := range kinds {
+		fmt.Printf("  %-20s %d\n", k, counts[k])
+	}
+	return nil
+}

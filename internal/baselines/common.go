@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"lbchat/internal/core"
+	"lbchat/internal/telemetry"
 )
 
 // fitWindowPsi returns the equal compression level at which two model
@@ -40,6 +41,8 @@ func exchangeModels(e *core.Engine, a, b *core.Vehicle, psi, window float64) (fr
 		return nil, nil, 0
 	}
 	bytes := e.CompressedModelBytes(psi)
+	e.Emit(telemetry.CompressionChosen{Time: e.Now(), From: a.ID, To: b.ID, Psi: psi, Bytes: bytes})
+	e.Emit(telemetry.CompressionChosen{Time: e.Now(), From: b.ID, To: a.ID, Psi: psi, Bytes: bytes})
 	recA := e.CompressReconstruct(a.Policy.Flat(), psi)
 	resAB := e.SimulateTransfer(bytes, a.ID, b.ID, window)
 	b.Recv.Record(resAB.Completed)

@@ -3,6 +3,7 @@ package baselines
 import (
 	"lbchat/internal/core"
 	"lbchat/internal/simrand"
+	"lbchat/internal/telemetry"
 )
 
 // ProxSkip is the central-server federated-learning baseline [28]. Vehicles
@@ -57,8 +58,10 @@ func (p *ProxSkip) OnTick(e *core.Engine, now float64) {
 // the survivors, and pushes the average back over a lossy downlink.
 func (p *ProxSkip) globalSync(e *core.Engine) {
 	var received [][]float64
+	bytes := e.ModelWireBytes()
 	for _, v := range e.Vehicles {
-		ok := p.linkSurvives(e, e.ModelWireBytes())
+		ok := p.linkSurvives(e, bytes)
+		p.emitLink(e, v.ID, telemetry.PeerInfra, bytes, ok)
 		v.Recv.Record(ok) // server-receive leg, counted per vehicle
 		if ok {
 			received = append(received, v.Policy.Flat())
@@ -69,13 +72,34 @@ func (p *ProxSkip) globalSync(e *core.Engine) {
 		return
 	}
 	for _, v := range e.Vehicles {
-		if !p.linkSurvives(e, e.ModelWireBytes()) {
+		ok := p.linkSurvives(e, bytes)
+		p.emitLink(e, telemetry.PeerInfra, v.ID, bytes, ok)
+		if !ok {
 			continue
 		}
 		flat := append([]float64(nil), avg...)
 		// Ignore impossible length-mismatch errors (identical models).
 		_ = v.Policy.SetFlat(flat)
 	}
+}
+
+// emitLink records one cellular leg as a telemetry transfer. The backend is
+// idealistically instantaneous, so Elapsed is zero; a lost leg delivers
+// nothing and is labeled a wireless loss.
+func (p *ProxSkip) emitLink(e *core.Engine, from, to, bytes int, ok bool) {
+	if !e.TelemetryEnabled() {
+		return
+	}
+	ev := telemetry.Transfer{
+		Time: e.Now(), From: from, To: to, Payload: telemetry.PayloadModel,
+		BytesRequested: bytes, Completed: ok,
+	}
+	if ok {
+		ev.BytesDelivered = bytes
+	} else {
+		ev.Truncated = telemetry.TruncLoss
+	}
+	e.Emit(ev)
 }
 
 // linkSurvives samples one cellular transfer outcome. The paper applies "a

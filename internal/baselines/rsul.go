@@ -6,6 +6,7 @@ import (
 
 	"lbchat/internal/core"
 	"lbchat/internal/geom"
+	"lbchat/internal/telemetry"
 )
 
 // RSUL is the road-side-unit baseline [29]: coordinators at intersections
@@ -110,6 +111,11 @@ func (p *RSUL) visit(e *core.Engine, v *core.Vehicle, rsu int) {
 	window := p.contactWindow(e, v.ID, rsuPos)
 
 	up := e.Radio.SimulateTransfer(bytes, dist, v.Bandwidth, window, e.RNG())
+	e.Emit(telemetry.Transfer{
+		Time: now, From: v.ID, To: telemetry.PeerInfra, Payload: telemetry.PayloadModel,
+		BytesRequested: bytes, BytesDelivered: up.BytesDelivered,
+		Completed: up.Completed, Elapsed: up.Elapsed, Truncated: up.Truncated,
+	})
 	elapsed := up.Elapsed
 	if up.Completed {
 		// RSU aggregates the received model into its model with a bounded
@@ -131,6 +137,11 @@ func (p *RSUL) visit(e *core.Engine, v *core.Vehicle, rsu int) {
 	}
 	down := e.Radio.SimulateTransfer(bytes, func(el float64) float64 { return dist(elapsed + el) },
 		v.Bandwidth, window-elapsed, e.RNG())
+	e.Emit(telemetry.Transfer{
+		Time: now, From: telemetry.PeerInfra, To: v.ID, Payload: telemetry.PayloadModel,
+		BytesRequested: bytes, BytesDelivered: down.BytesDelivered,
+		Completed: down.Completed, Elapsed: down.Elapsed, Truncated: down.Truncated,
+	})
 	v.Recv.Record(down.Completed)
 	elapsed += down.Elapsed
 	if down.Completed {

@@ -5,6 +5,7 @@ import (
 
 	"lbchat/internal/coreset"
 	"lbchat/internal/dataset"
+	"lbchat/internal/telemetry"
 )
 
 // EnsureCoreset returns the vehicle's current coreset, (re)building it with
@@ -55,6 +56,7 @@ func (e *Engine) EnsureCoreset(v *Vehicle) (*coreset.Coreset, error) {
 	}
 	v.Core = cs
 	v.CoreBuiltAt = e.now
+	e.Emit(telemetry.CoresetRebuilt{Time: e.now, Vehicle: v.ID, Size: cs.Len()})
 	return cs, nil
 }
 
@@ -63,6 +65,7 @@ func (e *Engine) EnsureCoreset(v *Vehicle) (*coreset.Coreset, error) {
 // coreset via merge-and-reduce so it summarizes the expanded dataset.
 func (e *Engine) AbsorbCoreset(v *Vehicle, peer *coreset.Coreset) error {
 	v.Data.Absorb(peer.Data(), v.LocalWeight)
+	e.Emit(telemetry.CoresetAbsorbed{Time: e.now, Vehicle: v.ID, Frames: peer.Len()})
 	if v.Core == nil {
 		return nil
 	}
@@ -70,9 +73,13 @@ func (e *Engine) AbsorbCoreset(v *Vehicle, peer *coreset.Coreset) error {
 	if v.CoresetSizeOverride > 0 {
 		size = v.CoresetSizeOverride
 	}
+	prev := v.Core.Len()
 	merged, err := coreset.MergeReduce(v.Core, peer, size, v.rng.Derive("reduce"))
 	if err != nil {
 		return fmt.Errorf("core: merge-reduce for vehicle %d: %w", v.ID, err)
+	}
+	if dropped := prev + peer.Len() - merged.Len(); dropped > 0 {
+		e.Emit(telemetry.CoresetEvicted{Time: e.now, Vehicle: v.ID, Dropped: dropped})
 	}
 	v.Core = merged
 	return nil

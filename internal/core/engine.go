@@ -11,8 +11,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"lbchat/internal/compress"
 	"lbchat/internal/coreset"
@@ -23,6 +25,7 @@ import (
 	"lbchat/internal/radio"
 	"lbchat/internal/sched"
 	"lbchat/internal/simrand"
+	"lbchat/internal/telemetry"
 	"lbchat/internal/trace"
 )
 
@@ -100,6 +103,14 @@ type Config struct {
 	// every worker count: vehicles touch only private state during the
 	// parallel phases and float reductions run in vehicle-index order.
 	Workers int
+	// Telemetry receives the run's structured event stream (chats,
+	// transfers, coreset maintenance, train steps, contact windows). nil
+	// disables telemetry at ~zero hot-path cost: every emission site checks
+	// the sink before constructing an event. Telemetry never consumes
+	// simulation randomness, so run results are bit-identical with any sink
+	// (or none), and events are emitted in deterministic order at every
+	// worker count.
+	Telemetry telemetry.Sink
 	// Model configures the policy architecture.
 	Model model.Config
 }
@@ -226,6 +237,24 @@ type Engine struct {
 	// dueVehicles is trainTick's reused scratch for the vehicles whose next
 	// training step has come due this tick.
 	dueVehicles []*Vehicle
+
+	// tel and wall cache the configured telemetry sink and its optional
+	// wall-clock side channel; both nil when telemetry is disabled.
+	tel  telemetry.Sink
+	wall telemetry.WallObserver
+	// stepScratch carries per-vehicle training outcomes out of the parallel
+	// phase so events are emitted serially in vehicle-index order.
+	stepScratch []stepOutcome
+	// contactOpen tracks open contact windows (key {a,b}, a < b → open
+	// time) for contact open/close telemetry; nil when telemetry is off.
+	contactOpen map[[2]int]float64
+}
+
+// stepOutcome is one vehicle's training work within one tick.
+type stepOutcome struct {
+	steps  int
+	loss   float64
+	wallNs int64
 }
 
 // NewEngine builds a fleet over the given mobility trace and local datasets.
@@ -248,6 +277,13 @@ func NewEngine(cfg Config, tr *trace.Trace, datasets []*dataset.Dataset, rm *rad
 		Radio: rm,
 		Probe: probe,
 		rng:   root.Derive("engine"),
+		tel:   cfg.Telemetry,
+	}
+	if w, ok := e.tel.(telemetry.WallObserver); ok {
+		e.wall = w
+	}
+	if e.tel != nil {
+		e.contactOpen = make(map[[2]int]float64)
 	}
 	initPolicy, err := model.New(cfg.Model, cfg.Seed)
 	if err != nil {
@@ -281,6 +317,16 @@ func (e *Engine) Now() float64 { return e.now }
 // Run drives the co-simulation for duration seconds of virtual time under
 // the given protocol.
 func (e *Engine) Run(p Protocol, duration float64) error {
+	return e.RunContext(context.Background(), p, duration)
+}
+
+// RunContext drives the co-simulation for duration seconds of virtual time
+// under the given protocol, stopping early when ctx is canceled. The
+// cancellation check runs once per tick; on cancellation the engine returns
+// ctx.Err() with its state (loss curve, vehicles, receive stats) intact and
+// consistent up to the last completed tick, so callers can surface a partial
+// result.
+func (e *Engine) RunContext(ctx context.Context, p Protocol, duration float64) error {
 	if err := p.Setup(e); err != nil {
 		return fmt.Errorf("core: protocol %s setup: %w", p.Name(), err)
 	}
@@ -288,7 +334,12 @@ func (e *Engine) Run(p Protocol, duration float64) error {
 	e.recordLoss() // t = 0 baseline
 	e.nextRecord = e.Cfg.RecordInterval
 	for e.now < duration {
+		if err := ctx.Err(); err != nil {
+			e.closeContacts()
+			return err
+		}
 		e.Events.RunUntil(e.now)
+		e.scanContacts()
 		e.trainTick()
 		p.OnTick(e, e.now)
 		if e.now >= e.nextRecord {
@@ -299,7 +350,64 @@ func (e *Engine) Run(p Protocol, duration float64) error {
 	}
 	e.Events.RunUntil(duration)
 	e.recordLoss()
+	e.closeContacts()
 	return nil
+}
+
+// TelemetryEnabled reports whether the engine has a telemetry sink, so
+// protocols can skip building expensive event payloads.
+func (e *Engine) TelemetryEnabled() bool { return e.tel != nil }
+
+// Emit forwards an event to the configured telemetry sink; without one it
+// is a no-op. Protocol implementations should guard construction of
+// non-trivial events with TelemetryEnabled.
+func (e *Engine) Emit(ev telemetry.Event) {
+	if e.tel != nil {
+		e.tel.Emit(ev)
+	}
+}
+
+// scanContacts diffs the fleet's in-range pair set against the previous
+// tick and emits contact open/close events. It runs only with telemetry
+// enabled; pairs are visited in index order, so the event stream is
+// deterministic.
+func (e *Engine) scanContacts() {
+	if e.tel == nil {
+		return
+	}
+	maxRange := e.Radio.Params.MaxRangeMeters
+	for a := 0; a < len(e.Vehicles); a++ {
+		for b := a + 1; b < len(e.Vehicles); b++ {
+			key := [2]int{a, b}
+			openedAt, open := e.contactOpen[key]
+			in := e.Trace.Distance(a, b, e.now) <= maxRange
+			switch {
+			case in && !open:
+				e.contactOpen[key] = e.now
+				e.tel.Emit(telemetry.ContactOpen{Time: e.now, A: a, B: b})
+			case !in && open:
+				delete(e.contactOpen, key)
+				e.tel.Emit(telemetry.ContactClose{Time: e.now, A: a, B: b, Duration: e.now - openedAt})
+			}
+		}
+	}
+}
+
+// closeContacts flushes still-open contact windows at the end (or
+// cancellation) of a run, in pair-index order.
+func (e *Engine) closeContacts() {
+	if e.tel == nil || len(e.contactOpen) == 0 {
+		return
+	}
+	for a := 0; a < len(e.Vehicles); a++ {
+		for b := a + 1; b < len(e.Vehicles); b++ {
+			key := [2]int{a, b}
+			if openedAt, open := e.contactOpen[key]; open {
+				delete(e.contactOpen, key)
+				e.tel.Emit(telemetry.ContactClose{Time: e.now, A: a, B: b, Duration: e.now - openedAt})
+			}
+		}
+	}
 }
 
 // workers resolves the engine's per-tick parallelism.
@@ -322,16 +430,50 @@ func (e *Engine) trainTick() {
 	if len(due) == 0 {
 		return
 	}
+	// With telemetry on, the parallel phase records each vehicle's outcome
+	// into index-addressed scratch; events are then emitted serially in
+	// vehicle-index order so the stream is identical at every worker count.
+	observe := e.tel != nil || e.wall != nil
+	if observe && cap(e.stepScratch) < len(due) {
+		e.stepScratch = make([]stepOutcome, len(due))
+	}
 	parallel.ForEach(e.workers(), len(due), func(i int) {
 		v := due[i]
+		var out stepOutcome
+		var start time.Time
+		if e.wall != nil {
+			start = time.Now()
+		}
 		for v.nextTrain <= e.now {
 			batch := v.Data.SampleBatch(e.Cfg.BatchSize, v.rng)
 			if len(batch) > 0 {
-				v.Policy.TrainStep(batch)
+				out.loss = v.Policy.TrainStep(batch)
+				out.steps++
 			}
 			v.nextTrain += e.Cfg.TrainInterval
 		}
+		if observe {
+			if e.wall != nil {
+				out.wallNs = time.Since(start).Nanoseconds()
+			}
+			e.stepScratch[i] = out
+		}
 	})
+	if !observe {
+		return
+	}
+	for i, v := range due {
+		out := e.stepScratch[i]
+		if out.steps == 0 {
+			continue
+		}
+		if e.tel != nil {
+			e.tel.Emit(telemetry.TrainStep{Time: e.now, Vehicle: v.ID, Steps: out.steps, Loss: out.loss})
+		}
+		if e.wall != nil {
+			e.wall.ObserveTrainWall(out.wallNs)
+		}
+	}
 }
 
 // probeLossMean evaluates every vehicle on the probe set (in parallel — the
@@ -352,7 +494,11 @@ func (e *Engine) recordLoss() {
 	if len(e.Probe) == 0 {
 		return
 	}
-	e.LossCurve.Add(e.now, e.probeLossMean())
+	loss := e.probeLossMean()
+	e.LossCurve.Add(e.now, loss)
+	if e.tel != nil {
+		e.tel.Emit(telemetry.LossRecorded{Time: e.now, Loss: loss})
+	}
 }
 
 // AvgProbeLoss returns the fleet's current mean loss on the probe set.
@@ -390,11 +536,27 @@ func (e *Engine) FleetReceiveStats() metrics.ReceiveStats {
 
 // SimulateTransfer plays a payload transfer from vehicle a to vehicle b
 // starting now, bounded by deadline seconds, over the live trace geometry.
+// The payload is reported to telemetry as a model transfer; use
+// SimulateTransferPayload to label coreset payloads.
 func (e *Engine) SimulateTransfer(bytes, a, b int, deadline float64) radio.TransferResult {
+	return e.SimulateTransferPayload(telemetry.PayloadModel, bytes, a, b, deadline)
+}
+
+// SimulateTransferPayload is SimulateTransfer with an explicit telemetry
+// payload label (telemetry.PayloadModel or telemetry.PayloadCoreset).
+func (e *Engine) SimulateTransferPayload(payload string, bytes, a, b int, deadline float64) radio.TransferResult {
 	start := e.now
 	bw := math.Min(e.Vehicles[a].Bandwidth, e.Vehicles[b].Bandwidth)
 	dist := func(elapsed float64) float64 { return e.Trace.Distance(a, b, start+elapsed) }
-	return e.Radio.SimulateTransfer(bytes, dist, bw, deadline, e.rng)
+	res := e.Radio.SimulateTransfer(bytes, dist, bw, deadline, e.rng)
+	if e.tel != nil {
+		e.tel.Emit(telemetry.Transfer{
+			Time: e.now, From: a, To: b, Payload: payload,
+			BytesRequested: bytes, BytesDelivered: res.BytesDelivered,
+			Completed: res.Completed, Elapsed: res.Elapsed, Truncated: res.Truncated,
+		})
+	}
+	return res
 }
 
 // RNG returns the engine's own random stream (pairing decisions etc.).

@@ -10,6 +10,7 @@ import (
 	"lbchat/internal/model"
 	"lbchat/internal/optimize"
 	"lbchat/internal/radio"
+	"lbchat/internal/telemetry"
 )
 
 // Variant toggles LbChat's components for the paper's ablations and the SCO
@@ -121,6 +122,7 @@ func (l *LbChat) chat(e *Engine, a, b int) {
 	if window <= 0 {
 		return
 	}
+	e.Emit(telemetry.ChatInitiated{Time: e.Now(), A: a, B: b, Contact: contact, Window: window})
 	if l.Variant.AdaptiveCoresetSize {
 		l.adaptCoresetSize(e, va, contact)
 		l.adaptCoresetSize(e, vb, contact)
@@ -129,24 +131,27 @@ func (l *LbChat) chat(e *Engine, a, b int) {
 	// Line 8: construct (or refresh) both coresets.
 	ca, err := e.EnsureCoreset(va)
 	if err != nil {
+		e.Emit(telemetry.ChatAborted{Time: e.Now(), A: a, B: b, Reason: telemetry.AbortCoresetBuild})
 		return
 	}
 	cb, err := e.EnsureCoreset(vb)
 	if err != nil {
+		e.Emit(telemetry.ChatAborted{Time: e.Now(), A: a, B: b, Reason: telemetry.AbortCoresetBuild})
 		return
 	}
 
 	// Line 9: exchange coresets (half-duplex, sequential).
 	elapsed := 0.0
-	resAB := e.SimulateTransfer(e.CoresetWireBytes(ca.Len()), a, b, window)
+	resAB := e.SimulateTransferPayload(telemetry.PayloadCoreset, e.CoresetWireBytes(ca.Len()), a, b, window)
 	elapsed += resAB.Elapsed
 	var resBA radio.TransferResult
 	if resAB.Completed {
-		resBA = e.SimulateTransfer(e.CoresetWireBytes(cb.Len()), b, a, window-elapsed)
+		resBA = e.SimulateTransferPayload(telemetry.PayloadCoreset, e.CoresetWireBytes(cb.Len()), b, a, window-elapsed)
 		elapsed += resBA.Elapsed
 	}
 	if !resAB.Completed || !resBA.Completed {
 		// Coreset exchange failed: the pair decouples, time was spent.
+		e.Emit(telemetry.ChatAborted{Time: e.Now(), A: a, B: b, Reason: telemetry.AbortCoresetExchange})
 		e.MarkChatted(a, b, e.Now()+elapsed)
 		return
 	}
@@ -157,6 +162,7 @@ func (l *LbChat) chat(e *Engine, a, b int) {
 			_ = e.AbsorbCoreset(va, cb)
 			_ = e.AbsorbCoreset(vb, ca)
 		})
+		e.Emit(telemetry.ChatCompleted{Time: e.Now(), A: a, B: b, Elapsed: elapsed})
 		e.MarkChatted(a, b, doneAt)
 		return
 	}
@@ -237,6 +243,7 @@ func (l *LbChat) chat(e *Engine, a, b int) {
 	}
 	schedule(vb, sentA, okA, ca)
 	schedule(va, sentB, okB, cb)
+	e.Emit(telemetry.ChatCompleted{Time: e.Now(), A: a, B: b, Elapsed: elapsed})
 	e.MarkChatted(a, b, doneAt)
 }
 
@@ -298,7 +305,9 @@ func (l *LbChat) sendModel(e *Engine, from, to *Vehicle, psi, deadline float64) 
 		return nil, false, 0
 	}
 	rec := e.CompressReconstruct(from.Policy.Flat(), psi)
-	res := e.SimulateTransfer(e.CompressedModelBytes(psi), from.ID, to.ID, deadline)
+	bytes := e.CompressedModelBytes(psi)
+	e.Emit(telemetry.CompressionChosen{Time: e.Now(), From: from.ID, To: to.ID, Psi: psi, Bytes: bytes})
+	res := e.SimulateTransfer(bytes, from.ID, to.ID, deadline)
 	to.Recv.Record(res.Completed)
 	return rec, res.Completed, res.Elapsed
 }
@@ -318,6 +327,7 @@ func (l *LbChat) mergeInto(e *Engine, v *Vehicle, peerFlat []float64, senderCore
 		lossPeer := l.scratch.Loss(joint)
 		wSelf, wPeer = AggregationWeights(lossSelf, lossPeer, l.Variant.LiteralEq8)
 	}
+	e.Emit(telemetry.Aggregation{Time: e.Now(), Vehicle: v.ID, WSelf: wSelf, WPeer: wPeer})
 	// Length mismatches are impossible (identical architectures); ignore
 	// the error to keep the event handler simple.
 	_ = MergeModels(v, peerFlat, wSelf, wPeer)

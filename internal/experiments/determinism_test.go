@@ -15,7 +15,7 @@ import (
 // workers=8 (real concurrency even on a single-core host).
 func TestParallelRunDeterminism(t *testing.T) {
 	env := getEnv(t)
-	runAt := func(workers int) *Run {
+	runAt := func(workers int) *ProtocolRun {
 		run, err := env.RunProtocol(ProtoLbChat, false, func(c *core.Config) {
 			c.Workers = workers
 		})

@@ -10,6 +10,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"lbchat/internal/baselines"
@@ -23,6 +25,7 @@ import (
 	"lbchat/internal/parallel"
 	"lbchat/internal/radio"
 	"lbchat/internal/simrand"
+	"lbchat/internal/telemetry"
 	"lbchat/internal/trace"
 	"lbchat/internal/world"
 )
@@ -109,6 +112,13 @@ type Env struct {
 	Suite    *eval.Suite
 	Cfg      core.Config
 	datasets []*dataset.Dataset // master copies; runs get fresh clones
+
+	// Telemetry, when non-nil, receives every run's full event stream
+	// (e.g. a JSONL sink). Concurrent protocol runs buffer their events
+	// and drain them in harness order after the parallel phase, so the
+	// sink sees a deterministic stream at any worker count. Per-run
+	// aggregate summaries (ProtocolRun.Comm) are collected regardless.
+	Telemetry telemetry.Sink
 }
 
 // BuildEnv constructs the workload: generate the map, spawn the fleet,
@@ -234,8 +244,8 @@ func (e *Env) newProtocol(name ProtocolName) (core.Protocol, error) {
 	}
 }
 
-// Run is one protocol training run's outputs.
-type Run struct {
+// ProtocolRun is one protocol training run's outputs.
+type ProtocolRun struct {
 	Name ProtocolName
 	// Lossless records the wireless regime the run used.
 	Lossless bool
@@ -245,11 +255,40 @@ type Run struct {
 	Recv metrics.ReceiveStats
 	// Fleet holds every vehicle's final model.
 	Fleet []*model.Policy
+	// Comm aggregates the run's telemetry into counters and histograms
+	// (chat counts, over-the-air bytes per payload, ψ distribution). It is
+	// always collected — the Summary sink is cheap.
+	Comm *telemetry.Summary
+	// Canceled marks a run cut short by context cancellation. Curve, Recv
+	// and Fleet hold the partial state at the stop point.
+	Canceled bool
+
+	// events buffers the run's full event stream while the Env has a user
+	// sink attached; the harness drains it in deterministic order.
+	events *telemetry.MemorySink
 }
 
 // RunProtocol trains the fleet under one protocol and wireless regime.
 // cfgMut, when non-nil, adjusts the engine config (coreset-size sweeps).
-func (e *Env) RunProtocol(name ProtocolName, lossless bool, cfgMut func(*core.Config)) (*Run, error) {
+//
+// Deprecated: new callers should use the package-level Run with
+// Spec{Experiment: ExpProtocol}; this wrapper remains for incremental
+// migration and is equivalent to a background-context run.
+func (e *Env) RunProtocol(name ProtocolName, lossless bool, cfgMut func(*core.Config)) (*ProtocolRun, error) {
+	run, err := e.runProtocol(context.Background(), name, lossless, cfgMut)
+	if err != nil {
+		return nil, err
+	}
+	e.flushRuns(run)
+	return run, nil
+}
+
+// runProtocol is the core runner: it brackets the run with
+// RunStarted/RunFinished telemetry, honors ctx cancellation (returning a
+// partial run with Canceled set and a nil error), and leaves the event
+// buffer attached for the caller to drain via flushRuns — concurrent
+// callers drain in harness order to keep the user sink deterministic.
+func (e *Env) runProtocol(ctx context.Context, name ProtocolName, lossless bool, cfgMut func(*core.Config)) (*ProtocolRun, error) {
 	cfg := e.Cfg
 	if cfgMut != nil {
 		cfgMut(&cfg)
@@ -258,18 +297,64 @@ func (e *Env) RunProtocol(name ProtocolName, lossless bool, cfgMut func(*core.Co
 	if err != nil {
 		return nil, err
 	}
+	sum := telemetry.NewSummary()
+	sink := telemetry.Sink(sum)
+	var buf *telemetry.MemorySink
+	if e.Telemetry != nil {
+		buf = telemetry.NewMemorySink()
+		sink = telemetry.Tee(sum, buf)
+	}
+	cfg.Telemetry = sink
+	sink.Emit(telemetry.RunStarted{Protocol: string(name), Lossless: lossless})
 	eng, err := core.NewEngine(cfg, e.Trace, e.FreshDatasets(), radio.NewModel(lossless), e.Probe)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: engine for %s: %w", name, err)
 	}
-	if err := eng.Run(proto, e.Scale.TrainDuration); err != nil {
-		return nil, fmt.Errorf("experiments: running %s: %w", name, err)
+	canceled := false
+	if err := eng.RunContext(ctx, proto, e.Scale.TrainDuration); err != nil {
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("experiments: running %s: %w", name, err)
+		}
+		canceled = true
 	}
-	run := &Run{Name: name, Lossless: lossless, Curve: eng.LossCurve, Recv: eng.FleetReceiveStats()}
+	sink.Emit(telemetry.RunFinished{
+		Protocol: string(name), Time: eng.Now(),
+		FinalLoss: eng.LossCurve.Final(), Canceled: canceled,
+	})
+	run := &ProtocolRun{
+		Name: name, Lossless: lossless,
+		Curve: eng.LossCurve, Recv: eng.FleetReceiveStats(),
+		Comm: sum, Canceled: canceled, events: buf,
+	}
 	for _, v := range eng.Vehicles {
 		run.Fleet = append(run.Fleet, v.Policy)
 	}
 	return run, nil
+}
+
+// flushRuns drains buffered per-run event streams into the Env's user
+// sink in the given order. Called after parallel phases so a shared sink
+// (JSONL file) sees whole runs in harness order regardless of scheduling.
+func (e *Env) flushRuns(runs ...*ProtocolRun) {
+	if e.Telemetry == nil {
+		return
+	}
+	for _, r := range runs {
+		if r != nil && r.events != nil {
+			r.events.Drain(e.Telemetry)
+			r.events = nil
+		}
+	}
+}
+
+// anyCanceled reports whether any run in the set was cut short.
+func anyCanceled(runs []*ProtocolRun) bool {
+	for _, r := range runs {
+		if r != nil && r.Canceled {
+			return true
+		}
+	}
+	return false
 }
 
 // EvalFleet computes fleet-averaged driving success rates for every

@@ -204,7 +204,7 @@ func TestRenderHelpers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	curves := RenderCurves([]*Run{run})
+	curves := RenderCurves([]*ProtocolRun{run})
 	if !strings.Contains(curves, "LbChat") {
 		t.Error("curve render missing protocol name")
 	}

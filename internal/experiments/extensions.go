@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"lbchat/internal/core"
@@ -23,10 +24,17 @@ type runSpec struct {
 
 // runConcurrent executes independent protocol runs concurrently (each gets
 // its own engine and fresh datasets) and returns results in argument order.
-func (e *Env) runConcurrent(specs ...runSpec) ([]*Run, error) {
-	return parallel.MapErr(parallel.Resolve(e.Scale.Workers), len(specs), func(i int) (*Run, error) {
-		return e.RunProtocol(specs[i].name, specs[i].lossless, specs[i].mut)
+// Buffered telemetry streams drain into the Env's user sink in that same
+// order, so a shared sink sees a deterministic stream at any worker count.
+func (e *Env) runConcurrent(ctx context.Context, specs ...runSpec) ([]*ProtocolRun, error) {
+	runs, err := parallel.MapErr(parallel.Resolve(e.Scale.Workers), len(specs), func(i int) (*ProtocolRun, error) {
+		return e.runProtocol(ctx, specs[i].name, specs[i].lossless, specs[i].mut)
 	})
+	if err != nil {
+		return nil, err
+	}
+	e.flushRuns(runs...)
+	return runs, nil
 }
 
 // RouteSharingStudy isolates the Eq. (5) neighbor prioritization by running
@@ -35,12 +43,20 @@ func (e *Env) runConcurrent(specs ...runSpec) ([]*Run, error) {
 // benchmarks); the ablation shows how much of that margin the priority
 // score carries.
 func (e *Env) RouteSharingStudy() (*metrics.Table, error) {
-	runs, err := e.runConcurrent(
+	tbl, _, err := e.routeSharingStudy(context.Background())
+	return tbl, err
+}
+
+func (e *Env) routeSharingStudy(ctx context.Context) (*metrics.Table, []*ProtocolRun, error) {
+	runs, err := e.runConcurrent(ctx,
 		runSpec{name: ProtoLbChat},
 		runSpec{name: ProtoNoPrio},
 	)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if anyCanceled(runs) {
+		return nil, runs, nil
 	}
 	withPrio, without := runs[0], runs[1]
 	tbl := metrics.NewTable("Route-sharing ablation (W wireless loss)",
@@ -48,13 +64,18 @@ func (e *Env) RouteSharingStudy() (*metrics.Table, error) {
 	tbl.AddRow("final probe loss (x1000)", 1000*withPrio.Curve.Final(), 1000*without.Curve.Final())
 	tbl.AddRow("model receive rate (%)", 100*withPrio.Recv.Rate(), 100*without.Recv.Rate())
 	tbl.AddRow("transfers attempted", float64(withPrio.Recv.Attempts), float64(without.Recv.Attempts))
-	return tbl, nil
+	return tbl, runs, nil
 }
 
 // CoresetMethodStudy reruns LbChat with each §V coreset-construction
 // alternative, reporting the final probe loss per method. All methods share
 // the identical workload, radio, and budget |C|.
 func (e *Env) CoresetMethodStudy(lossless bool) (*metrics.Table, error) {
+	tbl, _, err := e.coresetMethodStudy(context.Background(), lossless)
+	return tbl, err
+}
+
+func (e *Env) coresetMethodStudy(ctx context.Context, lossless bool) (*metrics.Table, []*ProtocolRun, error) {
 	methods := []coreset.Method{
 		coreset.MethodLayered,
 		coreset.MethodSensitivity,
@@ -69,9 +90,12 @@ func (e *Env) CoresetMethodStudy(lossless bool) (*metrics.Table, error) {
 		specs[i] = runSpec{name: ProtoLbChat, lossless: lossless,
 			mut: func(c *core.Config) { c.CoresetMethod = m }}
 	}
-	runs, err := e.runConcurrent(specs...)
+	runs, err := e.runConcurrent(ctx, specs...)
 	if err != nil {
-		return nil, fmt.Errorf("coreset method study: %w", err)
+		return nil, nil, fmt.Errorf("coreset method study: %w", err)
+	}
+	if anyCanceled(runs) {
+		return nil, runs, nil
 	}
 	finals := make([]float64, len(methods))
 	rates := make([]float64, len(methods))
@@ -82,25 +106,33 @@ func (e *Env) CoresetMethodStudy(lossless bool) (*metrics.Table, error) {
 	tbl := metrics.NewTable("Coreset construction methods (LbChat)", cols...)
 	tbl.AddRow("final probe loss (x1000)", finals...)
 	tbl.AddRow("model receive rate (%)", rates...)
-	return tbl, nil
+	return tbl, runs, nil
 }
 
 // AdaptiveCoresetStudy compares the fixed default coreset budget against
 // the adaptive per-vehicle sizing (the paper's future work: "Adaptive
 // tuning the size of coreset will be our future work").
 func (e *Env) AdaptiveCoresetStudy(lossless bool) (*metrics.Table, error) {
-	runs, err := e.runConcurrent(
+	tbl, _, err := e.adaptiveCoresetStudy(context.Background(), lossless)
+	return tbl, err
+}
+
+func (e *Env) adaptiveCoresetStudy(ctx context.Context, lossless bool) (*metrics.Table, []*ProtocolRun, error) {
+	runs, err := e.runConcurrent(ctx,
 		runSpec{name: ProtoLbChat, lossless: lossless},
 		runSpec{name: ProtoAdaptive, lossless: lossless},
 	)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if anyCanceled(runs) {
+		return nil, runs, nil
 	}
 	fixed, adaptive := runs[0], runs[1]
 	tbl := metrics.NewTable("Adaptive coreset sizing", "fixed |C|", "adaptive |C|")
 	tbl.AddRow("final probe loss (x1000)", 1000*fixed.Curve.Final(), 1000*adaptive.Curve.Final())
 	tbl.AddRow("model receive rate (%)", 100*fixed.Recv.Rate(), 100*adaptive.Recv.Rate())
-	return tbl, nil
+	return tbl, runs, nil
 }
 
 // HeterogeneityStudy explores the heterogeneous communication capabilities
@@ -109,14 +141,22 @@ func (e *Env) AdaptiveCoresetStudy(lossless bool) (*metrics.Table, error) {
 // Eq. (5)/Eq. (7) machinery — which already negotiates min{B_i, B_j} — is
 // measured under the imbalance.
 func (e *Env) HeterogeneityStudy(lossless bool) (*metrics.Table, error) {
-	runs, err := e.runConcurrent(
+	tbl, _, err := e.heterogeneityStudy(context.Background(), lossless)
+	return tbl, err
+}
+
+func (e *Env) heterogeneityStudy(ctx context.Context, lossless bool) (*metrics.Table, []*ProtocolRun, error) {
+	runs, err := e.runConcurrent(ctx,
 		runSpec{name: ProtoLbChat, lossless: lossless},
 		runSpec{name: ProtoLbChat, lossless: lossless, mut: func(c *core.Config) {
 			c.BandwidthMinBps = 5e6 // 5–31 Mbps spread
 		}},
 	)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if anyCanceled(runs) {
+		return nil, runs, nil
 	}
 	homogeneous, heterogeneous := runs[0], runs[1]
 	tbl := metrics.NewTable("Bandwidth heterogeneity (LbChat)",
@@ -124,7 +164,7 @@ func (e *Env) HeterogeneityStudy(lossless bool) (*metrics.Table, error) {
 	tbl.AddRow("final probe loss (x1000)", 1000*homogeneous.Curve.Final(), 1000*heterogeneous.Curve.Final())
 	tbl.AddRow("model receive rate (%)", 100*homogeneous.Recv.Rate(), 100*heterogeneous.Recv.Rate())
 	tbl.AddRow("transfers attempted", float64(homogeneous.Recv.Attempts), float64(heterogeneous.Recv.Attempts))
-	return tbl, nil
+	return tbl, runs, nil
 }
 
 // CompressionSchemeStudy compares the paper's default top-k delta
@@ -132,19 +172,27 @@ func (e *Env) HeterogeneityStudy(lossless bool) (*metrics.Table, error) {
 // biased/unbiased model compression methods can also be applied, such as
 // quantization") inside full LbChat runs.
 func (e *Env) CompressionSchemeStudy(lossless bool) (*metrics.Table, error) {
-	runs, err := e.runConcurrent(
+	tbl, _, err := e.compressionSchemeStudy(context.Background(), lossless)
+	return tbl, err
+}
+
+func (e *Env) compressionSchemeStudy(ctx context.Context, lossless bool) (*metrics.Table, []*ProtocolRun, error) {
+	runs, err := e.runConcurrent(ctx,
 		runSpec{name: ProtoLbChat, lossless: lossless},
 		runSpec{name: ProtoLbChat, lossless: lossless, mut: func(c *core.Config) {
 			c.CompressionScheme = core.SchemeQuantize
 		}},
 	)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if anyCanceled(runs) {
+		return nil, runs, nil
 	}
 	topk, quant := runs[0], runs[1]
 	tbl := metrics.NewTable("Compression schemes (LbChat)", "top-k", "quantization")
 	tbl.AddRow("final probe loss (x1000)", 1000*topk.Curve.Final(), 1000*quant.Curve.Final())
 	tbl.AddRow("model receive rate (%)", 100*topk.Recv.Rate(), 100*quant.Recv.Rate())
 	tbl.AddRow("transfers attempted", float64(topk.Recv.Attempts), float64(quant.Recv.Attempts))
-	return tbl, nil
+	return tbl, runs, nil
 }

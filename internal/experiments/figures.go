@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"lbchat/internal/core"
 	"lbchat/internal/eval"
 	"lbchat/internal/metrics"
-	"lbchat/internal/parallel"
 )
 
 // Fig2 reproduces Figure 2: training loss vs time for LbChat and the four
@@ -17,16 +17,22 @@ import (
 // The five protocol runs are fully independent — each gets its own engine,
 // fresh dataset clones, and seed-derived random streams — so they execute
 // concurrently; results come back in protocol order either way.
-func (e *Env) Fig2(lossless bool) ([]*Run, error) {
-	return parallel.MapErr(parallel.Resolve(e.Scale.Workers), len(BenchmarkProtocols), func(i int) (*Run, error) {
-		return e.RunProtocol(BenchmarkProtocols[i], lossless, nil)
-	})
+func (e *Env) Fig2(lossless bool) ([]*ProtocolRun, error) {
+	return e.fig2(context.Background(), lossless)
+}
+
+func (e *Env) fig2(ctx context.Context, lossless bool) ([]*ProtocolRun, error) {
+	specs := make([]runSpec, len(BenchmarkProtocols))
+	for i, name := range BenchmarkProtocols {
+		specs[i] = runSpec{name: name, lossless: lossless}
+	}
+	return e.runConcurrent(ctx, specs...)
 }
 
 // ReceiveRates extracts the §IV-C successful model-receiving rates from a
 // set of lossy-regime runs (the paper reports LbChat 87% vs 51–60% for the
 // benchmarks).
-func ReceiveRates(runs []*Run) map[ProtocolName]float64 {
+func ReceiveRates(runs []*ProtocolRun) map[ProtocolName]float64 {
 	out := make(map[ProtocolName]float64, len(runs))
 	for _, r := range runs {
 		out[r.Name] = 100 * r.Recv.Rate()
@@ -36,7 +42,7 @@ func ReceiveRates(runs []*Run) map[ProtocolName]float64 {
 
 // SuccessRates evaluates the final fleets of a set of runs on the driving
 // benchmark, returning per-protocol condition→rate maps (Tables II–III).
-func (e *Env) SuccessRates(runs []*Run) map[ProtocolName]map[eval.Condition]float64 {
+func (e *Env) SuccessRates(runs []*ProtocolRun) map[ProtocolName]map[eval.Condition]float64 {
 	out := make(map[ProtocolName]map[eval.Condition]float64, len(runs))
 	for _, r := range runs {
 		out[r.Name] = e.EvalFleet(r.Fleet)
@@ -46,31 +52,43 @@ func (e *Env) SuccessRates(runs []*Run) map[ProtocolName]map[eval.Condition]floa
 
 // Table2 reproduces Table II (driving success rate, W/O wireless loss):
 // train all five protocols lossless and evaluate their fleets.
-func (e *Env) Table2() (*metrics.Table, []*Run, error) {
-	runs, err := e.Fig2(true)
-	if err != nil {
-		return nil, nil, err
-	}
-	rates := e.SuccessRates(runs)
-	return e.SuccessTable("Table II: driving success rate on average (W/O wireless loss) (%)",
-		BenchmarkProtocols, rates), runs, nil
+func (e *Env) Table2() (*metrics.Table, []*ProtocolRun, error) {
+	return e.benchmarkTable(context.Background(), true)
 }
 
 // Table3 reproduces Table III (driving success rate, W wireless loss).
-func (e *Env) Table3() (*metrics.Table, []*Run, error) {
-	runs, err := e.Fig2(false)
+func (e *Env) Table3() (*metrics.Table, []*ProtocolRun, error) {
+	return e.benchmarkTable(context.Background(), false)
+}
+
+// benchmarkTable trains the five-protocol lineup in the given regime and
+// evaluates the fleets (Tables II/III). A canceled training phase returns
+// the partial runs with a nil table.
+func (e *Env) benchmarkTable(ctx context.Context, lossless bool) (*metrics.Table, []*ProtocolRun, error) {
+	runs, err := e.fig2(ctx, lossless)
 	if err != nil {
 		return nil, nil, err
 	}
+	if anyCanceled(runs) {
+		return nil, runs, nil
+	}
+	title := "Table II: driving success rate on average (W/O wireless loss) (%)"
+	if !lossless {
+		title = "Table III: driving success rate on average (W wireless loss) (%)"
+	}
 	rates := e.SuccessRates(runs)
-	return e.SuccessTable("Table III: driving success rate on average (W wireless loss) (%)",
-		BenchmarkProtocols, rates), runs, nil
+	return e.SuccessTable(title, BenchmarkProtocols, rates), runs, nil
 }
 
 // Table4 reproduces Table IV: LbChat with coreset sizes 10× and 1/10 the
 // default, in both wireless regimes. Columns follow the paper: 1500 (W/O),
 // 15 (W/O), 1500 (W), 15 (W).
 func (e *Env) Table4() (*metrics.Table, error) {
+	tbl, _, err := e.table4(context.Background())
+	return tbl, err
+}
+
+func (e *Env) table4(ctx context.Context) (*metrics.Table, []*ProtocolRun, error) {
 	type variant struct {
 		label    string
 		size     int
@@ -83,23 +101,27 @@ func (e *Env) Table4() (*metrics.Table, error) {
 		{"15 (W)", maxInt(e.Cfg.CoresetSize/10, 2), false},
 	}
 	cols := make([]string, len(variants))
+	specs := make([]runSpec, len(variants))
 	for i, v := range variants {
+		size := v.size
 		cols[i] = v.label
+		specs[i] = runSpec{name: ProtoLbChat, lossless: v.lossless,
+			mut: func(c *core.Config) { c.CoresetSize = size }}
 	}
-	// The four coreset-size variants are independent runs; train and
-	// evaluate them concurrently, collecting rates in column order.
-	rates, err := parallel.MapErr(parallel.Resolve(e.Scale.Workers), len(variants), func(i int) (map[eval.Condition]float64, error) {
-		size := variants[i].size
-		run, err := e.RunProtocol(ProtoLbChat, variants[i].lossless, func(c *core.Config) { c.CoresetSize = size })
-		if err != nil {
-			return nil, err
-		}
-		return e.EvalFleet(run.Fleet), nil
-	})
+	// The four coreset-size variants are independent runs and train
+	// concurrently; fleet evaluation itself fans out across workers.
+	runs, err := e.runConcurrent(ctx, specs...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	if anyCanceled(runs) {
+		return nil, runs, nil
 	}
 	tbl := metrics.NewTable("Table IV: driving success rate with different coreset size (%)", cols...)
+	rates := make([]map[eval.Condition]float64, len(runs))
+	for i, run := range runs {
+		rates[i] = e.EvalFleet(run.Fleet)
+	}
 	for _, cond := range eval.Conditions {
 		vals := make([]float64, len(variants))
 		for i := range variants {
@@ -107,56 +129,63 @@ func (e *Env) Table4() (*metrics.Table, error) {
 		}
 		tbl.AddRow(cond.String(), vals...)
 	}
-	return tbl, nil
+	return tbl, runs, nil
 }
 
 // ablationTable runs one LbChat variant in both wireless regimes (the two
 // regimes are independent runs and execute concurrently).
-func (e *Env) ablationTable(title string, name ProtocolName) (*metrics.Table, error) {
-	rates, err := parallel.MapErr(parallel.Resolve(e.Scale.Workers), 2, func(i int) (map[eval.Condition]float64, error) {
-		run, err := e.RunProtocol(name, i == 0, nil)
-		if err != nil {
-			return nil, err
-		}
-		return e.EvalFleet(run.Fleet), nil
-	})
+func (e *Env) ablationTable(ctx context.Context, title string, name ProtocolName) (*metrics.Table, []*ProtocolRun, error) {
+	runs, err := e.runConcurrent(ctx,
+		runSpec{name: name, lossless: true},
+		runSpec{name: name, lossless: false},
+	)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	wo, w := rates[0], rates[1]
+	if anyCanceled(runs) {
+		return nil, runs, nil
+	}
+	wo, w := e.EvalFleet(runs[0].Fleet), e.EvalFleet(runs[1].Fleet)
 	tbl := metrics.NewTable(title, "W/O wireless loss", "W wireless loss")
 	for _, cond := range eval.Conditions {
 		tbl.AddRow(cond.String(), wo[cond], w[cond])
 	}
-	return tbl, nil
+	return tbl, runs, nil
 }
 
 // Table5 reproduces Table V: the equal-compression ablation (Eq. (7)
 // masked).
 func (e *Env) Table5() (*metrics.Table, error) {
-	return e.ablationTable("Table V: driving success rate with equal comp. ratio (%)", ProtoEqualComp)
+	tbl, _, err := e.ablationTable(context.Background(), "Table V: driving success rate with equal comp. ratio (%)", ProtoEqualComp)
+	return tbl, err
 }
 
 // Table6 reproduces Table VI: the average-aggregation ablation (Eq. (8)
 // masked).
 func (e *Env) Table6() (*metrics.Table, error) {
-	return e.ablationTable("Table VI: driving success rate with avg. aggregation (%)", ProtoAvgAgg)
+	tbl, _, err := e.ablationTable(context.Background(), "Table VI: driving success rate with avg. aggregation (%)", ProtoAvgAgg)
+	return tbl, err
 }
 
 // Table7 reproduces Table VII: SCO, sharing coresets only.
 func (e *Env) Table7() (*metrics.Table, error) {
-	return e.ablationTable("Table VII: driving success rate with sharing coreset only (%)", ProtoSCO)
+	tbl, _, err := e.ablationTable(context.Background(), "Table VII: driving success rate with sharing coreset only (%)", ProtoSCO)
+	return tbl, err
 }
 
 // Fig3 reproduces Figure 3: LbChat vs SCO loss curves, plus the
 // convergence-time ratio the paper highlights (SCO takes 1.5–1.8× longer).
 // The threshold is the loss both curves eventually reach, placed at 10%
 // above the slower curve's best.
-func (e *Env) Fig3(lossless bool) (lbchat, sco *Run, ratio float64, err error) {
-	names := []ProtocolName{ProtoLbChat, ProtoSCO}
-	runs, err := parallel.MapErr(parallel.Resolve(e.Scale.Workers), len(names), func(i int) (*Run, error) {
-		return e.RunProtocol(names[i], lossless, nil)
-	})
+func (e *Env) Fig3(lossless bool) (lbchat, sco *ProtocolRun, ratio float64, err error) {
+	return e.fig3(context.Background(), lossless)
+}
+
+func (e *Env) fig3(ctx context.Context, lossless bool) (lbchat, sco *ProtocolRun, ratio float64, err error) {
+	runs, err := e.runConcurrent(ctx,
+		runSpec{name: ProtoLbChat, lossless: lossless},
+		runSpec{name: ProtoSCO, lossless: lossless},
+	)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -178,7 +207,7 @@ func ConvergenceRatio(fast, slow *metrics.Curve) float64 {
 }
 
 // RenderCurves prints a set of loss curves in aligned columns for plotting.
-func RenderCurves(runs []*Run) string {
+func RenderCurves(runs []*ProtocolRun) string {
 	out := ""
 	for _, r := range runs {
 		out += r.Curve.Render() + "\n"

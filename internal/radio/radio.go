@@ -177,7 +177,20 @@ type TransferResult struct {
 	Elapsed float64
 	// BytesDelivered counts payload bytes that made it across.
 	BytesDelivered int
+	// Truncated names why an incomplete transfer stopped: TruncDeadline
+	// (ran out of time), TruncRange (peers moved out of radio range), or
+	// TruncLoss (a packet exhausted its retransmission budget). Empty when
+	// Completed, and when the transfer never started (zero deadline or
+	// bandwidth also report TruncDeadline for accounting purposes).
+	Truncated string
 }
+
+// Truncation reasons for incomplete transfers.
+const (
+	TruncDeadline = "deadline"
+	TruncRange    = "range"
+	TruncLoss     = "loss"
+)
 
 // SimulateTransfer plays out a payload transfer in one-second slices. dist
 // gives the link distance as a function of elapsed time (the vehicles keep
@@ -191,7 +204,7 @@ func (m *Model) SimulateTransfer(bytes int, dist func(elapsed float64) float64, 
 		return TransferResult{Completed: true}
 	}
 	if bps <= 0 || deadline <= 0 {
-		return TransferResult{}
+		return TransferResult{Truncated: TruncDeadline}
 	}
 	remaining := m.NumPackets(bytes)
 	packetBytes := m.Params.PacketSizeBytes
@@ -202,11 +215,11 @@ func (m *Model) SimulateTransfer(bytes int, dist func(elapsed float64) float64, 
 			// Clamp: slice-capacity rounding may overshoot by a fraction
 			// of a packet, but a transfer can never consume more than its
 			// deadline.
-			return TransferResult{Elapsed: deadline, BytesDelivered: delivered * packetBytes}
+			return TransferResult{Elapsed: deadline, BytesDelivered: delivered * packetBytes, Truncated: TruncDeadline}
 		}
 		d := dist(elapsed)
 		if d > m.Params.MaxRangeMeters {
-			return TransferResult{Elapsed: elapsed, BytesDelivered: delivered * packetBytes}
+			return TransferResult{Elapsed: elapsed, BytesDelivered: delivered * packetBytes, Truncated: TruncRange}
 		}
 		dt := math.Min(slice, deadline-elapsed)
 		attempts := m.ExpectedAttempts(d)
@@ -228,6 +241,7 @@ func (m *Model) SimulateTransfer(bytes int, dist func(elapsed float64) float64, 
 			return TransferResult{
 				Elapsed:        elapsed + dt/2,
 				BytesDelivered: (delivered + n/2) * packetBytes,
+				Truncated:      TruncLoss,
 			}
 		}
 		delivered += n

@@ -144,6 +144,9 @@ func TestSimulateTransferCompletesCloseRange(t *testing.T) {
 	if res.BytesDelivered < 600_000 {
 		t.Errorf("delivered %d bytes", res.BytesDelivered)
 	}
+	if res.Truncated != "" {
+		t.Errorf("completed transfer reports truncation %q", res.Truncated)
+	}
 }
 
 func TestSimulateTransferFailsFarRange(t *testing.T) {
@@ -174,6 +177,9 @@ func TestSimulateTransferDeadline(t *testing.T) {
 	if res.BytesDelivered <= 0 {
 		t.Error("partial transfer delivered nothing")
 	}
+	if res.Truncated != TruncDeadline {
+		t.Errorf("truncation reason = %q, want %q", res.Truncated, TruncDeadline)
+	}
 }
 
 func TestSimulateTransferOutOfRange(t *testing.T) {
@@ -182,6 +188,32 @@ func TestSimulateTransferOutOfRange(t *testing.T) {
 	res := m.SimulateTransfer(1000, func(float64) float64 { return 600 }, 31e6, 10, rng)
 	if res.Completed {
 		t.Error("out-of-range transfer completed")
+	}
+	if res.Truncated != TruncRange {
+		t.Errorf("truncation reason = %q, want %q", res.Truncated, TruncRange)
+	}
+}
+
+// TestSimulateTransferLossReason drives a large transfer over a lossy but
+// in-range link with an effectively unlimited deadline: the only way it can
+// fail is a packet exhausting its retransmission budget, so every failure
+// must carry TruncLoss.
+func TestSimulateTransferLossReason(t *testing.T) {
+	m := NewModel(false)
+	fails := 0
+	for i := 0; i < 20; i++ {
+		rng := simrand.New(uint64(i))
+		res := m.SimulateTransfer(52_000_000, func(float64) float64 { return 480 }, 31e6, 600, rng)
+		if res.Completed {
+			continue
+		}
+		fails++
+		if res.Truncated != TruncLoss {
+			t.Fatalf("seed %d: truncation reason = %q, want %q", i, res.Truncated, TruncLoss)
+		}
+	}
+	if fails == 0 {
+		t.Error("no lossy-link failures observed; test exercises nothing")
 	}
 }
 

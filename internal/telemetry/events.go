@@ -1,0 +1,230 @@
+// Package telemetry is the structured observability layer of the LbChat
+// stack: typed events emitted from the protocol hot paths (chats, transfers,
+// coreset maintenance, training steps), aggregated into counters and
+// fixed-bucket histograms, and delivered to pluggable sinks (in-memory for
+// tests and summaries, JSONL for offline analysis, CSV for metric dumps).
+//
+// Design rules, in order of importance:
+//
+//  1. A nil sink costs ~zero: every emission site guards with a nil check
+//     before constructing the event, so a run with telemetry disabled is
+//     bit-identical to — and essentially as fast as — a run predating the
+//     telemetry layer.
+//  2. Events carry VIRTUAL time (engine seconds / tick indices), never wall
+//     clock, and are emitted in deterministic order (parallel phases buffer
+//     per-vehicle results and emit in vehicle-index order). The event stream
+//     of a run is therefore bit-identical at every worker count. Wall-clock
+//     measurements exist only as histogram aggregates behind the separate
+//     WallObserver interface, which the JSONL sink deliberately does not
+//     implement.
+//  3. Telemetry never consumes simulation randomness and never feeds values
+//     back into the simulation.
+package telemetry
+
+// Event is one structured telemetry record. Implementations are small value
+// types; Kind returns a stable snake_case tag used by the JSONL envelope.
+type Event interface {
+	Kind() string
+}
+
+// Event kind tags. These are a wire format: renaming one breaks recorded
+// JSONL files, so they are append-only.
+const (
+	KindRunStarted        = "run_started"
+	KindRunFinished       = "run_finished"
+	KindChatInitiated     = "chat_initiated"
+	KindChatCompleted     = "chat_completed"
+	KindChatAborted       = "chat_aborted"
+	KindCompressionChosen = "compression_chosen"
+	KindTransfer          = "transfer"
+	KindAggregation       = "aggregation"
+	KindCoresetAbsorbed   = "coreset_absorbed"
+	KindCoresetEvicted    = "coreset_evicted"
+	KindCoresetRebuilt    = "coreset_rebuilt"
+	KindContactOpen       = "contact_open"
+	KindContactClose      = "contact_close"
+	KindTrainStep         = "train_step"
+	KindLossRecorded      = "loss_recorded"
+)
+
+// Payload labels for Transfer events.
+const (
+	// PayloadModel marks a (compressed) model parameter payload.
+	PayloadModel = "model"
+	// PayloadCoreset marks a coreset-frame payload.
+	PayloadCoreset = "coreset"
+)
+
+// PeerInfra is the pseudo vehicle ID used for infrastructure endpoints
+// (the ProxSkip central server, RSU coordinators) in Transfer events.
+const PeerInfra = -1
+
+// Transfer truncation reasons (mirrors radio.TransferResult.Truncated).
+const (
+	TruncDeadline = "deadline"
+	TruncRange    = "range"
+	TruncLoss     = "loss"
+)
+
+// RunStarted brackets the beginning of one protocol training run.
+type RunStarted struct {
+	Protocol string `json:"protocol"`
+	Lossless bool   `json:"lossless"`
+}
+
+// RunFinished brackets the end of one protocol training run.
+type RunFinished struct {
+	Protocol string `json:"protocol"`
+	// Time is the virtual time at which the run stopped (s).
+	Time float64 `json:"time"`
+	// FinalLoss is the last recorded probe loss.
+	FinalLoss float64 `json:"final_loss"`
+	// Canceled reports an early stop via context cancellation.
+	Canceled bool `json:"canceled,omitempty"`
+}
+
+// ChatInitiated records the start of one pairwise exchange session.
+type ChatInitiated struct {
+	Time float64 `json:"time"`
+	A    int     `json:"a"`
+	B    int     `json:"b"`
+	// Contact is the estimated remaining contact duration (s).
+	Contact float64 `json:"contact"`
+	// Window is min(T_B, contact), the usable exchange window (s).
+	Window float64 `json:"window"`
+}
+
+// ChatCompleted records a chat that ran to the end of its exchange sequence
+// (some individual transfers within it may still have failed).
+type ChatCompleted struct {
+	Time float64 `json:"time"`
+	A    int     `json:"a"`
+	B    int     `json:"b"`
+	// Elapsed is the total air time the chat consumed (s).
+	Elapsed float64 `json:"elapsed"`
+}
+
+// ChatAborted records a chat that decoupled before the model exchange.
+type ChatAborted struct {
+	Time   float64 `json:"time"`
+	A      int     `json:"a"`
+	B      int     `json:"b"`
+	Reason string  `json:"reason"`
+}
+
+// Chat abort reasons.
+const (
+	AbortCoresetBuild    = "coreset_build"
+	AbortCoresetExchange = "coreset_exchange"
+)
+
+// CompressionChosen records one direction's Eq. (7) decision: the chosen
+// compression level ψ and the resulting over-the-air payload size.
+type CompressionChosen struct {
+	Time  float64 `json:"time"`
+	From  int     `json:"from"`
+	To    int     `json:"to"`
+	Psi   float64 `json:"psi"`
+	Bytes int     `json:"bytes"`
+}
+
+// Transfer records one simulated payload transfer (any protocol, any
+// payload, vehicle-to-vehicle or vehicle-to-infrastructure).
+type Transfer struct {
+	Time float64 `json:"time"`
+	From int     `json:"from"`
+	To   int     `json:"to"`
+	// Payload is PayloadModel or PayloadCoreset.
+	Payload string `json:"payload"`
+	// BytesRequested is the payload size handed to the radio.
+	BytesRequested int `json:"bytes_requested"`
+	// BytesDelivered counts bytes that made it across before any abort.
+	BytesDelivered int     `json:"bytes_delivered"`
+	Completed      bool    `json:"completed"`
+	Elapsed        float64 `json:"elapsed"`
+	// Truncated names why an incomplete transfer stopped ("deadline",
+	// "range", "loss"); empty when Completed.
+	Truncated string `json:"truncated,omitempty"`
+}
+
+// Aggregation records one Eq. (8) model merge on the receiving vehicle.
+type Aggregation struct {
+	Time    float64 `json:"time"`
+	Vehicle int     `json:"vehicle"`
+	WSelf   float64 `json:"w_self"`
+	WPeer   float64 `json:"w_peer"`
+}
+
+// CoresetAbsorbed records a peer coreset expanding a vehicle's local
+// dataset (§III-D data expansion).
+type CoresetAbsorbed struct {
+	Time    float64 `json:"time"`
+	Vehicle int     `json:"vehicle"`
+	// Frames is the number of absorbed coreset frames.
+	Frames int `json:"frames"`
+}
+
+// CoresetEvicted records frames dropped by the merge-and-reduce step to
+// hold the coreset at its budget |C|.
+type CoresetEvicted struct {
+	Time    float64 `json:"time"`
+	Vehicle int     `json:"vehicle"`
+	Dropped int     `json:"dropped"`
+}
+
+// CoresetRebuilt records a from-scratch Algorithm 1 coreset construction.
+type CoresetRebuilt struct {
+	Time    float64 `json:"time"`
+	Vehicle int     `json:"vehicle"`
+	Size    int     `json:"size"`
+}
+
+// ContactOpen records two vehicles entering radio range.
+type ContactOpen struct {
+	Time float64 `json:"time"`
+	A    int     `json:"a"`
+	B    int     `json:"b"`
+}
+
+// ContactClose records two vehicles leaving radio range (or the run ending
+// with the window still open).
+type ContactClose struct {
+	Time float64 `json:"time"`
+	A    int     `json:"a"`
+	B    int     `json:"b"`
+	// Duration is how long the contact window stayed open (s).
+	Duration float64 `json:"duration"`
+}
+
+// TrainStep records one vehicle's local-SGD work in one engine tick.
+type TrainStep struct {
+	Time    float64 `json:"time"`
+	Vehicle int     `json:"vehicle"`
+	// Steps is how many SGD steps came due this tick (usually 1).
+	Steps int `json:"steps"`
+	// Loss is the minibatch training loss of the last step.
+	Loss float64 `json:"loss"`
+}
+
+// LossRecorded is one probe-loss curve sample (the Fig. 2 observable).
+type LossRecorded struct {
+	Time float64 `json:"time"`
+	Loss float64 `json:"loss"`
+}
+
+// Kind implementations.
+func (RunStarted) Kind() string        { return KindRunStarted }
+func (RunFinished) Kind() string       { return KindRunFinished }
+func (ChatInitiated) Kind() string     { return KindChatInitiated }
+func (ChatCompleted) Kind() string     { return KindChatCompleted }
+func (ChatAborted) Kind() string       { return KindChatAborted }
+func (CompressionChosen) Kind() string { return KindCompressionChosen }
+func (Transfer) Kind() string          { return KindTransfer }
+func (Aggregation) Kind() string       { return KindAggregation }
+func (CoresetAbsorbed) Kind() string   { return KindCoresetAbsorbed }
+func (CoresetEvicted) Kind() string    { return KindCoresetEvicted }
+func (CoresetRebuilt) Kind() string    { return KindCoresetRebuilt }
+func (ContactOpen) Kind() string       { return KindContactOpen }
+func (ContactClose) Kind() string      { return KindContactClose }
+func (TrainStep) Kind() string         { return KindTrainStep }
+func (LossRecorded) Kind() string      { return KindLossRecorded }

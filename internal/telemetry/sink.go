@@ -1,0 +1,127 @@
+package telemetry
+
+import "sync"
+
+// Sink consumes telemetry events. Engine emission is single-goroutine by
+// construction (parallel phases buffer and emit serially), but sinks shipped
+// by this package are additionally mutex-guarded so one sink can safely be
+// shared across concurrent protocol runs.
+type Sink interface {
+	// Emit records one event.
+	Emit(ev Event)
+	// Close flushes buffered state and releases resources.
+	Close() error
+}
+
+// WallObserver receives wall-clock measurements from the engine. It is a
+// separate, optional interface — not an Event — so wall time can never leak
+// into the deterministic event stream: sinks that record events (JSONL,
+// MemorySink) do not implement it, while aggregating sinks (Summary) fold the
+// observations into histograms only.
+type WallObserver interface {
+	// ObserveTrainWall records the wall time of one vehicle's training work
+	// within one engine tick, in nanoseconds.
+	ObserveTrainWall(nanos int64)
+}
+
+// MemorySink buffers every event in memory: the test sink, and the per-run
+// buffer the experiment harness uses to serialize concurrent runs into one
+// output stream.
+type MemorySink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewMemorySink returns an empty in-memory sink.
+func NewMemorySink() *MemorySink { return &MemorySink{} }
+
+// Emit implements Sink.
+func (m *MemorySink) Emit(ev Event) {
+	m.mu.Lock()
+	m.events = append(m.events, ev)
+	m.mu.Unlock()
+}
+
+// Close implements Sink (no-op).
+func (m *MemorySink) Close() error { return nil }
+
+// Events returns the recorded events in emission order.
+func (m *MemorySink) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// Len returns the number of recorded events.
+func (m *MemorySink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// Drain replays the recorded events into dst in order and empties the sink.
+func (m *MemorySink) Drain(dst Sink) {
+	m.mu.Lock()
+	events := m.events
+	m.events = nil
+	m.mu.Unlock()
+	for _, ev := range events {
+		dst.Emit(ev)
+	}
+}
+
+// multiSink fans events (and wall observations) out to several sinks.
+type multiSink struct {
+	sinks []Sink
+	walls []WallObserver
+}
+
+// Tee returns a sink that forwards every event to all given sinks (nils are
+// skipped). Wall observations are forwarded to the members that accept them.
+// A single non-nil sink is returned unwrapped.
+func Tee(sinks ...Sink) Sink {
+	var live []Sink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	m := &multiSink{sinks: live}
+	for _, s := range live {
+		if w, ok := s.(WallObserver); ok {
+			m.walls = append(m.walls, w)
+		}
+	}
+	return m
+}
+
+// Emit implements Sink.
+func (m *multiSink) Emit(ev Event) {
+	for _, s := range m.sinks {
+		s.Emit(ev)
+	}
+}
+
+// ObserveTrainWall implements WallObserver.
+func (m *multiSink) ObserveTrainWall(nanos int64) {
+	for _, w := range m.walls {
+		w.ObserveTrainWall(nanos)
+	}
+}
+
+// Close implements Sink: closes every member, returning the first error.
+func (m *multiSink) Close() error {
+	var first error
+	for _, s := range m.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

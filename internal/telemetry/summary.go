@@ -1,0 +1,155 @@
+package telemetry
+
+// Canonical metric names aggregated by Summary. They are shared with the
+// CSV output, so they are append-only like the event kinds.
+const (
+	MChatInitiated = "chat.initiated"
+	MChatCompleted = "chat.completed"
+	MChatAborted   = "chat.aborted"
+	MChatElapsedS  = "chat.elapsed_s"
+	MChatPsi       = "chat.psi"
+
+	MTransModel       = "transfer.model.count"
+	MTransModelOK     = "transfer.model.completed"
+	MBytesModelReq    = "bytes.model.requested"
+	MBytesModelGot    = "bytes.model.delivered"
+	MTransCoreset     = "transfer.coreset.count"
+	MTransCoresetOK   = "transfer.coreset.completed"
+	MBytesCoresetReq  = "bytes.coreset.requested"
+	MBytesCoresetGot  = "bytes.coreset.delivered"
+	MTransferBytes    = "transfer.bytes"
+	MTransferTruncate = "transfer.truncated"
+
+	MAggregations = "aggregation.count"
+	MAggWPeer     = "aggregation.w_peer"
+
+	MCoresetAbsorbFrames = "coreset.absorbed_frames"
+	MCoresetEvictFrames  = "coreset.evicted_frames"
+	MCoresetRebuilds     = "coreset.rebuilds"
+
+	MContactsOpened  = "contact.opened"
+	MContactDuration = "contact.duration_s"
+
+	MTrainSteps  = "train.steps"
+	MTrainWallNs = "train.wall_ns"
+)
+
+// Fixed bucket edges for the Summary histograms. Fixed across runs so
+// per-protocol summaries are directly comparable.
+var (
+	psiEdges     = []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1}
+	elapsedEdges = []float64{1, 2, 5, 10, 15, 20}
+	bytesEdges   = []float64{1e4, 1e5, 1e6, 5e6, 1e7, 5e7}
+	contactEdges = []float64{5, 15, 30, 60, 120, 300}
+	wPeerEdges   = []float64{0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9}
+	trainNsEdges = []float64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+)
+
+// Summary is the always-cheap aggregating sink: it folds the event stream
+// into a Registry of counters and fixed-bucket histograms and keeps the
+// run-level identifiers, never retaining events. It is the basis of the
+// end-of-run communication-efficiency report.
+type Summary struct {
+	// Protocol and Lossless identify the run (from its RunStarted event).
+	Protocol string
+	Lossless bool
+	// FinalLoss tracks the last recorded probe loss.
+	FinalLoss float64
+	// Canceled reports whether the run stopped early.
+	Canceled bool
+	// Reg holds the aggregated counters and histograms.
+	Reg *Registry
+}
+
+// NewSummary returns an empty summary collector.
+func NewSummary() *Summary {
+	return &Summary{Reg: NewRegistry()}
+}
+
+// Emit implements Sink.
+func (s *Summary) Emit(ev Event) {
+	switch e := ev.(type) {
+	case RunStarted:
+		s.Protocol, s.Lossless = e.Protocol, e.Lossless
+	case RunFinished:
+		s.FinalLoss, s.Canceled = e.FinalLoss, e.Canceled
+	case ChatInitiated:
+		s.Reg.Inc(MChatInitiated, 1)
+	case ChatCompleted:
+		s.Reg.Inc(MChatCompleted, 1)
+		s.Reg.Observe(MChatElapsedS, elapsedEdges, e.Elapsed)
+	case ChatAborted:
+		s.Reg.Inc(MChatAborted, 1)
+	case CompressionChosen:
+		s.Reg.Observe(MChatPsi, psiEdges, e.Psi)
+	case Transfer:
+		switch e.Payload {
+		case PayloadCoreset:
+			s.Reg.Inc(MTransCoreset, 1)
+			s.Reg.Inc(MBytesCoresetReq, int64(e.BytesRequested))
+			s.Reg.Inc(MBytesCoresetGot, int64(e.BytesDelivered))
+			if e.Completed {
+				s.Reg.Inc(MTransCoresetOK, 1)
+			}
+		default: // model payloads, including infrastructure legs
+			s.Reg.Inc(MTransModel, 1)
+			s.Reg.Inc(MBytesModelReq, int64(e.BytesRequested))
+			s.Reg.Inc(MBytesModelGot, int64(e.BytesDelivered))
+			if e.Completed {
+				s.Reg.Inc(MTransModelOK, 1)
+			}
+		}
+		if !e.Completed {
+			s.Reg.Inc(MTransferTruncate, 1)
+		}
+		s.Reg.Observe(MTransferBytes, bytesEdges, float64(e.BytesRequested))
+	case Aggregation:
+		s.Reg.Inc(MAggregations, 1)
+		s.Reg.Observe(MAggWPeer, wPeerEdges, e.WPeer)
+	case CoresetAbsorbed:
+		s.Reg.Inc(MCoresetAbsorbFrames, int64(e.Frames))
+	case CoresetEvicted:
+		s.Reg.Inc(MCoresetEvictFrames, int64(e.Dropped))
+	case CoresetRebuilt:
+		s.Reg.Inc(MCoresetRebuilds, 1)
+	case ContactOpen:
+		s.Reg.Inc(MContactsOpened, 1)
+	case ContactClose:
+		s.Reg.Observe(MContactDuration, contactEdges, e.Duration)
+	case TrainStep:
+		s.Reg.Inc(MTrainSteps, int64(e.Steps))
+	case LossRecorded:
+		s.FinalLoss = e.Loss
+	}
+}
+
+// ObserveTrainWall implements WallObserver: wall time lives only in this
+// aggregate histogram, never in the event stream.
+func (s *Summary) ObserveTrainWall(nanos int64) {
+	s.Reg.Observe(MTrainWallNs, trainNsEdges, float64(nanos))
+}
+
+// Close implements Sink (no-op).
+func (s *Summary) Close() error { return nil }
+
+// Chats returns the initiated/completed/aborted chat counts.
+func (s *Summary) Chats() (initiated, completed, aborted int64) {
+	return s.Reg.Counter(MChatInitiated), s.Reg.Counter(MChatCompleted), s.Reg.Counter(MChatAborted)
+}
+
+// BytesRequested returns the over-the-air bytes handed to the radio, split
+// by payload.
+func (s *Summary) BytesRequested() (model, coreset int64) {
+	return s.Reg.Counter(MBytesModelReq), s.Reg.Counter(MBytesCoresetReq)
+}
+
+// BytesDelivered returns the bytes that made it across, split by payload.
+func (s *Summary) BytesDelivered() (model, coreset int64) {
+	return s.Reg.Counter(MBytesModelGot), s.Reg.Counter(MBytesCoresetGot)
+}
+
+// TotalBytesRequested is the run's total over-the-air byte demand.
+func (s *Summary) TotalBytesRequested() int64 {
+	m, c := s.BytesRequested()
+	return m + c
+}
