@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench telemetry-smoke ci
+.PHONY: build vet test race bench telemetry-smoke doccheck ci
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,11 @@ test:
 # The simulator runs parallel by default; the race detector is part of
 # tier-1 verification for the concurrent paths (engine ticks, experiment
 # harness fan-out, chunked matmul).
+# The experiments package runs several full co-simulations; under the race
+# detector that exceeds go test's default 10-minute per-package budget
+# (~19 min on a fast box, longer on one core).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' ./...
@@ -30,4 +33,16 @@ telemetry-smoke:
 	$(GO) run ./cmd/telemetry-lint $(TMPDIR_SMOKE)/events.jsonl
 	rm -rf $(TMPDIR_SMOKE)
 
-ci: build vet test race telemetry-smoke
+# Every internal package must carry its godoc in a dedicated doc.go opening
+# with the canonical "// Package <name>" sentence.
+doccheck:
+	@fail=0; for d in internal/*/; do \
+		pkg=$$(basename $$d); \
+		if [ ! -f "$$d/doc.go" ]; then \
+			echo "doccheck: $$d is missing doc.go"; fail=1; \
+		elif ! grep -q "^// Package $$pkg " "$$d/doc.go"; then \
+			echo "doccheck: $$d/doc.go lacks a '// Package $$pkg' comment"; fail=1; \
+		fi; \
+	done; exit $$fail
+
+ci: build vet doccheck test race telemetry-smoke

@@ -1,6 +1,6 @@
 // Package cli collects the flag handling shared by the lbchat commands so
-// -seed, -workers, -scale, and -telemetry-out parse and behave identically
-// everywhere.
+// -seed, -workers, -scale, -faults, and -telemetry-out parse and behave
+// identically everywhere.
 package cli
 
 import (
@@ -12,6 +12,7 @@ import (
 	"syscall"
 
 	"lbchat/internal/experiments"
+	"lbchat/internal/faults"
 	"lbchat/internal/telemetry"
 	"lbchat/internal/tensor"
 )
@@ -30,6 +31,9 @@ type Common struct {
 	// TelemetryOut is the JSONL event-stream output path (-telemetry-out);
 	// empty disables the stream sink.
 	TelemetryOut string
+	// FaultsName names the fault-injection profile (-faults): off, light,
+	// heavy (internal/faults). Resolve it with Faults.
+	FaultsName string
 
 	fs *flag.FlagSet
 }
@@ -44,7 +48,15 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.ScaleName, "scale", "bench", "experiment scale: test, bench, or full")
 	fs.StringVar(&c.TelemetryOut, "telemetry-out", "",
 		"write the run's telemetry event stream as JSONL to this file")
+	fs.StringVar(&c.FaultsName, "faults", "off",
+		"fault-injection profile: off, light, or heavy (burst loss, window truncation, churn, corruption)")
 	return c
+}
+
+// Faults resolves the -faults profile name into a fault-injection config;
+// "off" (the default) returns the zero config, which disables injection.
+func (c *Common) Faults() (faults.Config, error) {
+	return faults.ByName(c.FaultsName)
 }
 
 // Scale resolves -scale with the -seed and -workers overrides applied, and

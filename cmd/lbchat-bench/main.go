@@ -9,9 +9,12 @@
 //	lbchat-bench -exp all -scale bench
 //	lbchat-bench -exp fig2a,tab2 -scale full -workers 8
 //	lbchat-bench -exp fig2b -telemetry-out events.jsonl
+//	lbchat-bench -exp faultsweep -scale test
 //	lbchat-bench -speedup -workers 4
 //
-// Experiments: fig2a fig2b recvrate tab2 tab3 tab4 tab5 tab6 tab7 fig3 all.
+// Experiments: fig2a fig2b recvrate tab2 tab3 tab4 tab5 tab6 tab7 fig3 all,
+// plus the extension studies and the faultsweep robustness grid (which
+// manages its own fault settings; -faults applies a profile to the others).
 // Scales: test (seconds), bench (minutes), full (paper scale: 32 vehicles).
 // Every experiment reports its wall-clock time; -speedup additionally
 // calibrates the configured worker count against the serial baseline on one
@@ -44,7 +47,7 @@ func main() {
 var errCanceled = fmt.Errorf("canceled: partial results above")
 
 func run() error {
-	expFlag := flag.String("exp", "all", "comma-separated experiments: fig2a,fig2b,recvrate,tab2,tab3,tab4,tab5,tab6,tab7,fig3,all; extensions: routeshare,methods,adaptive,hetero,quant")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: fig2a,fig2b,recvrate,tab2,tab3,tab4,tab5,tab6,tab7,fig3,all; extensions: routeshare,methods,adaptive,hetero,quant,faultsweep")
 	speedupFlag := flag.Bool("speedup", false, "measure the -workers speedup vs the serial baseline on one LbChat run, then exit")
 	common := cli.Register(flag.CommandLine)
 	flag.Parse()
@@ -54,6 +57,10 @@ func run() error {
 		return err
 	}
 	sink, err := common.OpenSink()
+	if err != nil {
+		return err
+	}
+	fcfg, err := common.Faults()
 	if err != nil {
 		return err
 	}
@@ -74,6 +81,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	env.Cfg.Faults = fcfg
 	fmt.Printf("-- environment built in %s\n", time.Since(buildStart).Round(time.Millisecond))
 
 	if *speedupFlag {
@@ -236,6 +244,11 @@ func run() error {
 	}
 	if want["adaptive"] {
 		if err := runExp("adaptive-coreset study", "Extension: adaptive coreset sizing (future work)", experiments.ExpAdaptive, true); err != nil {
+			return err
+		}
+	}
+	if want["faultsweep"] {
+		if err := runExp("fault sweep", "Robustness: fault sweep (burst loss x churn, with vs without resumption)", experiments.ExpFaultSweep, false); err != nil {
 			return err
 		}
 	}

@@ -87,6 +87,10 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		fcfg, err := common.Faults()
+		if err != nil {
+			return err
+		}
 		fmt.Printf("Training fleet under %s (%.0fs virtual, wireless loss: %v)...\n",
 			*protocol, *duration, *lossy)
 		res, err := experiments.Run(ctx, experiments.Spec{
@@ -95,6 +99,7 @@ func run() error {
 			Lossless:   !*lossy,
 			Env:        env,
 			Telemetry:  sink,
+			Faults:     fcfg,
 		})
 		if err != nil {
 			return err

@@ -7,6 +7,7 @@
 //
 //	lbchat-sim -protocol LbChat -vehicles 8 -duration 1800
 //	lbchat-sim -protocol DP -wireless-loss -telemetry-out events.jsonl
+//	lbchat-sim -protocol LbChat -wireless-loss -faults light
 package main
 
 import (
@@ -53,6 +54,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	fcfg, err := common.Faults()
+	if err != nil {
+		return err
+	}
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
@@ -67,6 +72,7 @@ func run() error {
 		Lossless:   !*lossy,
 		Scale:      &scale,
 		Telemetry:  sink,
+		Faults:     fcfg,
 		Config:     func(c *core.Config) { c.LogChats = *logChats },
 	})
 	if err != nil {

@@ -1,0 +1,32 @@
+package main
+
+// Example runs the quickstart walkthrough end to end and pins its printed
+// output. Every stream is seeded, so the whole Algorithm 1 + Algorithm 2
+// chain — data collection, local training, coreset construction, value
+// assessment, φ fitting, the Eq. (7) solve, and Eq. (8) aggregation — must
+// reproduce bit for bit; `go test ./examples/quickstart` turns the example
+// into a regression test over the full stack.
+func Example() {
+	if err := run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// Collecting driving data for two vehicles (2 fps)...
+	// Local training: 400 steps each on their own data...
+	// Coresets built: |C_A| = 100 (400 kB on the wire), |C_B| = 100
+	//
+	// Value assessment (weighted losses):
+	//   f(x_A; C_A) = 0.0040   f(x_A; C_B) = 0.0309
+	//   f(x_B; C_B) = 0.0080   f(x_B; C_A) = 0.0393
+	//   → B's model is VALUABLE to A (gap 0.0229)
+	//   → A's model is VALUABLE to B (gap 0.0353)
+	//
+	// φ_A samples (ψ → loss on C_A): (0.05, 0.8056) (0.20, 0.7852) (0.50, 0.7095) (1.00, 0.0040)
+	//
+	// Eq. (7) solution: ψ_A = 1.00 (A sends), ψ_B = 0.00 (A receives)
+	//   expected gains: A ← 0.0000, B ← 0.0353; transfer time 13.4s of the 15s budget
+	//
+	// Dataset expansion: |D_A| 600 → 700 (absorbed 100 coreset frames)
+	//
+	// After the chat, A's loss on B's coreset: 0.0309 (was 0.0309)
+}

@@ -121,9 +121,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nφ_A samples (ψ → loss on C_A): ")
+	fmt.Printf("\nφ_A samples (ψ → loss on C_A):")
 	for i, psi := range psis {
-		fmt.Printf("(%.2f, %.4f) ", psi, lossesPhiA[i])
+		fmt.Printf(" (%.2f, %.4f)", psi, lossesPhiA[i])
 	}
 	fmt.Println()
 

@@ -1,0 +1,16 @@
+// Package baselines reimplements the paper's four comparison protocols over
+// the same co-simulation engine, radio model, and driving model as LbChat:
+//
+//   - ProxSkip [28]: central-server federated learning with probabilistic
+//     communication skipping and an idealistic unconstrained backend.
+//   - RSU-L [29]: road-side-unit coordinators at intersections that merge
+//     and redistribute models opportunistically.
+//   - DFL-DDS [30]: synchronous fully-decentralized rounds with
+//     data-source-diversity aggregation weights.
+//   - DP [5]: asynchronous gossip with loss-based logarithmic merge weights.
+//
+// DFL-DDS and DP are subject to exactly LbChat's communication constraints
+// (same radio, bandwidths, contact windows), with per-encounter compression
+// ratios computed to fit the contact duration, as §IV-B prescribes for a
+// fair comparison.
+package baselines

@@ -1,8 +1,3 @@
-// Package bev rasterizes ego-centric bird's-eye-view (BEV) tensors from
-// simulator ground truth. The BEV is the sparse binary multi-channel tensor
-// the paper's driving model consumes: a top-down view of the area ahead of
-// the vehicle with separate channels for drivable road, nearby vehicles, and
-// pedestrians.
 package bev
 
 import (

@@ -1,0 +1,6 @@
+// Package compress implements the model compression used during exchanges:
+// top-k sparsification [22] with index–value pair encoding [23]. The
+// compression level is expressed as ψ = 1/φ ∈ [0, 1], the reciprocal of the
+// paper's compression ratio φ = S/S_c: ψ = 0 sends nothing, ψ = 1 sends the
+// model uncompressed.
+package compress

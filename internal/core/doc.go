@@ -1,0 +1,19 @@
+// Package core implements LbChat itself (Algorithm 2) and the virtual-time
+// co-simulation engine that LbChat and every benchmark protocol run on:
+// per-vehicle local training, trace-driven mobility and encounters,
+// radio-constrained transfers, and loss-curve/receive-rate metrics.
+//
+// The engine is deliberately protocol-agnostic: a Protocol sees the fleet
+// each tick and decides who chats with whom and what crosses the air. LbChat,
+// its SCO variant and ablations (this package), and the four benchmarks
+// (internal/baselines) all plug into the same loop, which is what makes the
+// paper's "same communication ability and constraints" comparisons honest.
+//
+// The engine optionally layers deterministic fault injection on top of the
+// loop (Config.Faults, internal/faults): burst packet loss, chat-window
+// truncation, vehicle churn, and payload corruption, answered on the LbChat
+// side by session resumption, partial-transfer salvage, and bounded
+// retry-with-backoff (faults.go, lbchat.go; DESIGN.md §9). With the zero
+// Faults config every hook is a no-op and runs are bit-identical to an
+// engine without the layer.
+package core

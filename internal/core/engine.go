@@ -1,13 +1,3 @@
-// Package core implements LbChat itself (Algorithm 2) and the virtual-time
-// co-simulation engine that LbChat and every benchmark protocol run on:
-// per-vehicle local training, trace-driven mobility and encounters,
-// radio-constrained transfers, and loss-curve/receive-rate metrics.
-//
-// The engine is deliberately protocol-agnostic: a Protocol sees the fleet
-// each tick and decides who chats with whom and what crosses the air. LbChat,
-// its SCO variant and ablations (this package), and the four benchmarks
-// (internal/baselines) all plug into the same loop, which is what makes the
-// paper's "same communication ability and constraints" comparisons honest.
 package core
 
 import (
@@ -19,6 +9,7 @@ import (
 	"lbchat/internal/compress"
 	"lbchat/internal/coreset"
 	"lbchat/internal/dataset"
+	"lbchat/internal/faults"
 	"lbchat/internal/metrics"
 	"lbchat/internal/model"
 	"lbchat/internal/parallel"
@@ -111,6 +102,11 @@ type Config struct {
 	// (or none), and events are emitted in deterministic order at every
 	// worker count.
 	Telemetry telemetry.Sink
+	// Faults configures the deterministic fault-injection layer
+	// (internal/faults, DESIGN.md §9). The zero value disables it: no
+	// injector is built, no extra randomness is drawn, and runs behave
+	// exactly as without the layer.
+	Faults faults.Config
 	// Model configures the policy architecture.
 	Model model.Config
 }
@@ -162,6 +158,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: invalid bandwidth range [%g, %g]", c.BandwidthMinBps, c.BandwidthMaxBps)
 	case c.PaperModelBytes <= 0 || c.PaperFrameBytes <= 0:
 		return fmt.Errorf("core: non-positive paper payload sizes (%d, %d)", c.PaperModelBytes, c.PaperFrameBytes)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return c.Model.Validate()
 }
@@ -248,6 +247,9 @@ type Engine struct {
 	// contactOpen tracks open contact windows (key {a,b}, a < b → open
 	// time) for contact open/close telemetry; nil when telemetry is off.
 	contactOpen map[[2]int]float64
+	// faults is the run's fault injector; nil when Cfg.Faults is the zero
+	// value, in which case every fault hook is a no-op.
+	faults *faults.Injector
 }
 
 // stepOutcome is one vehicle's training work within one tick.
@@ -284,6 +286,9 @@ func NewEngine(cfg Config, tr *trace.Trace, datasets []*dataset.Dataset, rm *rad
 	}
 	if e.tel != nil {
 		e.contactOpen = make(map[[2]int]float64)
+	}
+	if cfg.Faults.Enabled() {
+		e.faults = faults.NewInjector(cfg.Faults, root.Derive("faults"), tr.NumVehicles())
 	}
 	initPolicy, err := model.New(cfg.Model, cfg.Seed)
 	if err != nil {
@@ -339,6 +344,7 @@ func (e *Engine) RunContext(ctx context.Context, p Protocol, duration float64) e
 			return err
 		}
 		e.Events.RunUntil(e.now)
+		e.faultsTick()
 		e.scanContacts()
 		e.trainTick()
 		p.OnTick(e, e.now)
@@ -423,6 +429,15 @@ func (e *Engine) trainTick() {
 	due := e.dueVehicles[:0]
 	for _, v := range e.Vehicles {
 		if v.nextTrain <= e.now {
+			if e.faults != nil && e.faults.Away(v.ID) {
+				// Departed vehicles skip their due steps: the model stays
+				// frozen (and stale on rejoin) but the schedule advances so
+				// they do not burst-train on return.
+				for v.nextTrain <= e.now {
+					v.nextTrain += e.Cfg.TrainInterval
+				}
+				continue
+			}
 			due = append(due, v)
 		}
 	}
@@ -548,7 +563,25 @@ func (e *Engine) SimulateTransferPayload(payload string, bytes, a, b int, deadli
 	start := e.now
 	bw := math.Min(e.Vehicles[a].Bandwidth, e.Vehicles[b].Bandwidth)
 	dist := func(elapsed float64) float64 { return e.Trace.Distance(a, b, start+elapsed) }
-	res := e.Radio.SimulateTransfer(bytes, dist, bw, deadline, e.rng)
+	// With bursts configured, layer the link's episode timeline over the
+	// loss table and remember the strongest boost the transfer saw.
+	var boost func(elapsed float64) float64
+	var burstPER float64
+	if e.faults != nil {
+		if link := e.faults.LinkBoost(a, b); link != nil {
+			boost = func(elapsed float64) float64 {
+				p := link(start + elapsed)
+				if p > burstPER {
+					burstPER = p
+				}
+				return p
+			}
+		}
+	}
+	res := e.Radio.SimulateTransferPerturbed(bytes, dist, boost, bw, deadline, e.rng)
+	if burstPER > 0 {
+		e.Emit(telemetry.FaultInjected{Time: e.now, Fault: telemetry.FaultBurstLoss, A: a, B: b, Value: burstPER})
+	}
 	if e.tel != nil {
 		e.tel.Emit(telemetry.Transfer{
 			Time: e.now, From: a, To: b, Payload: payload,

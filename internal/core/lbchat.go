@@ -40,6 +40,11 @@ type Variant struct {
 	// duration — short-contact vehicles shrink their coresets, vehicles
 	// with long encounters can afford richer ones.
 	AdaptiveCoresetSize bool
+	// NoResumption disables chat-session resumption: a re-encountered peer
+	// restarts a broken coreset exchange from scratch instead of resuming
+	// from the last completed payload — the FaultSweep comparison arm
+	// (DESIGN.md §9).
+	NoResumption bool
 }
 
 // Adaptive coreset sizing constants: the coreset exchange should claim at
@@ -52,6 +57,51 @@ const (
 	contactEMAAlpha      = 0.3
 )
 
+// Resilient-chat constants (DESIGN.md §9): a coreset leg must land at least
+// salvageViableFrac of its frames for the chat to proceed to the model
+// exchange, and a broken session stays resumable for resumeTTL seconds of
+// virtual time.
+const (
+	salvageViableFrac = 0.25
+	resumeTTL         = 900.0
+)
+
+// legOutcome is what the receiver of one coreset leg ends up holding.
+type legOutcome struct {
+	// core is the coreset as held by the receiver: the sender's coreset
+	// when full, a discounted prefix when salvaged, nil when nothing
+	// usable arrived.
+	core *coreset.Coreset
+	// frames counts the intact frames delivered.
+	frames int
+	// full marks a complete, uncorrupted payload.
+	full bool
+	// resumed marks a leg carried over from a broken session; its payload
+	// was already absorbed when that session broke, so absorption must not
+	// repeat.
+	resumed bool
+}
+
+// chatSession records a broken coreset exchange so a re-encounter within
+// resumeTTL can resume from the last completed payload instead of
+// restarting (DESIGN.md §9 state machine).
+type chatSession struct {
+	brokenAt float64
+	// toB is what the higher-indexed vehicle holds of the lower's coreset
+	// (pair keys are ordered a < b); toA the reverse direction.
+	toB, toA legOutcome
+}
+
+// viableFrames is the minimum salvaged-frame count for a coreset leg of
+// the given size to count as delivered.
+func viableFrames(total int) int {
+	v := int(salvageViableFrac * float64(total))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
 // LbChat is the paper's protocol (Algorithm 2) as an engine Protocol.
 type LbChat struct {
 	// Variant selects ablation behaviour.
@@ -59,6 +109,9 @@ type LbChat struct {
 
 	name    string
 	scratch *model.Policy // reusable buffer for evaluating received models
+	// sessions holds broken coreset exchanges by ordered pair key for
+	// resumption on re-encounter.
+	sessions map[[2]int]*chatSession
 }
 
 // NewLbChat returns the full protocol.
@@ -82,6 +135,7 @@ func (l *LbChat) Setup(e *Engine) error {
 	if len(e.Vehicles) > 0 {
 		l.scratch = e.Vehicles[0].Policy.Clone()
 	}
+	l.sessions = make(map[[2]int]*chatSession)
 	return nil
 }
 
@@ -122,6 +176,7 @@ func (l *LbChat) chat(e *Engine, a, b int) {
 	if window <= 0 {
 		return
 	}
+	window = e.FaultWindow(a, b, window)
 	e.Emit(telemetry.ChatInitiated{Time: e.Now(), A: a, B: b, Contact: contact, Window: window})
 	if l.Variant.AdaptiveCoresetSize {
 		l.adaptCoresetSize(e, va, contact)
@@ -140,27 +195,93 @@ func (l *LbChat) chat(e *Engine, a, b int) {
 		return
 	}
 
-	// Line 9: exchange coresets (half-duplex, sequential).
-	elapsed := 0.0
-	resAB := e.SimulateTransferPayload(telemetry.PayloadCoreset, e.CoresetWireBytes(ca.Len()), a, b, window)
-	elapsed += resAB.Elapsed
-	var resBA radio.TransferResult
-	if resAB.Completed {
-		resBA = e.SimulateTransferPayload(telemetry.PayloadCoreset, e.CoresetWireBytes(cb.Len()), b, a, window-elapsed)
-		elapsed += resBA.Elapsed
+	// Line 9: exchange coresets (half-duplex, sequential). A recently broken
+	// session with this peer resumes from its last completed payload: fully
+	// delivered legs are not re-sent (DESIGN.md §9).
+	key := [2]int{a, b}
+	var resumed *chatSession
+	if s, ok := l.sessions[key]; ok {
+		delete(l.sessions, key)
+		if !l.Variant.NoResumption && e.Now()-s.brokenAt <= resumeTTL {
+			resumed = s
+		}
 	}
-	if !resAB.Completed || !resBA.Completed {
-		// Coreset exchange failed: the pair decouples, time was spent.
+	elapsed := 0.0
+	var legAB, legBA legOutcome
+	if resumed != nil {
+		if resumed.toB.full {
+			legAB = resumed.toB
+			legAB.resumed = true
+		}
+		if resumed.toA.full {
+			legBA = resumed.toA
+			legBA.resumed = true
+		}
+		savedFrames := 0
+		if legAB.resumed {
+			savedFrames += legAB.frames
+		}
+		if legBA.resumed {
+			savedFrames += legBA.frames
+		}
+		if savedFrames > 0 {
+			e.Emit(telemetry.ChatResumed{
+				Time: e.Now(), A: a, B: b,
+				SavedBytes: e.CoresetWireBytes(savedFrames),
+				Age:        e.Now() - resumed.brokenAt,
+			})
+		}
+	}
+	if !legAB.resumed {
+		var t float64
+		legAB, t = l.sendCoreset(e, ca, a, b, window)
+		elapsed += t
+	}
+	if !legBA.resumed && legAB.full {
+		var t float64
+		legBA, t = l.sendCoreset(e, cb, b, a, window-elapsed)
+		elapsed += t
+	}
+	viable := func(leg legOutcome, sent *coreset.Coreset) bool {
+		return leg.full || leg.frames >= viableFrames(sent.Len())
+	}
+	if !viable(legAB, ca) || !viable(legBA, cb) {
+		// Coreset exchange failed: the pair decouples, time was spent. The
+		// delivered direction is NOT wasted — its receiver still absorbs it
+		// (one-sided salvage) — and the broken session is recorded so a
+		// re-encounter can resume it.
+		doneAt := e.Now() + elapsed
+		if !l.Variant.NoDataExpansion {
+			if core := legAB.core; core != nil && !legAB.resumed {
+				e.Events.Schedule(doneAt, func() { _ = e.AbsorbCoreset(vb, core) })
+			}
+			if core := legBA.core; core != nil && !legBA.resumed {
+				e.Events.Schedule(doneAt, func() { _ = e.AbsorbCoreset(va, core) })
+			}
+		}
+		if !l.Variant.NoResumption {
+			l.sessions[key] = &chatSession{brokenAt: e.Now(), toB: legAB, toA: legBA}
+		}
 		e.Emit(telemetry.ChatAborted{Time: e.Now(), A: a, B: b, Reason: telemetry.AbortCoresetExchange})
-		e.MarkChatted(a, b, e.Now()+elapsed)
+		e.MarkChatted(a, b, doneAt)
 		return
 	}
 
+	// Both directions are across (possibly as discounted salvaged
+	// prefixes): caAtB is what b now holds of a's coreset, cbAtA the
+	// reverse. The rest of the chat works from the held copies.
+	caAtB, cbAtA := legAB.core, legBA.core
+
 	if l.Variant.SCO {
 		doneAt := e.Now() + elapsed
+		absorbAB, absorbBA := !legAB.resumed, !legBA.resumed
 		e.Events.Schedule(doneAt, func() {
-			_ = e.AbsorbCoreset(va, cb)
-			_ = e.AbsorbCoreset(vb, ca)
+			if absorbBA {
+				_ = e.AbsorbCoreset(va, cbAtA)
+			}
+			if absorbAB {
+				_ = e.AbsorbCoreset(vb, caAtB)
+			}
 		})
 		e.Emit(telemetry.ChatCompleted{Time: e.Now(), A: a, B: b, Elapsed: elapsed})
 		e.MarkChatted(a, b, doneAt)
@@ -170,8 +291,10 @@ func (l *LbChat) chat(e *Engine, a, b int) {
 	// Lines 10–12: evaluate both models on both coresets; fit φ curves from
 	// sampled compressed-model losses. The evaluation results and φ samples
 	// are exchanged; their wire size is negligible next to the coresets.
-	evalA := e.EvalSubset(va, ca.Items())
-	evalB := e.EvalSubset(vb, cb.Items())
+	// Value assessment runs on the HELD copies, so a salvaged prefix
+	// contributes with its discounted weights (Eq. 8 value estimation).
+	evalA := e.EvalSubset(va, caAtB.Items())
+	evalB := e.EvalSubset(vb, cbAtA.Items())
 	lossAonB := va.Policy.Loss(evalB)
 	lossBonA := vb.Policy.Loss(evalA)
 
@@ -226,8 +349,9 @@ func (l *LbChat) chat(e *Engine, a, b int) {
 
 	// Lines 15–16 take effect when the payloads land. Peer coresets are
 	// absorbed regardless of the model transfers' fate — they already made
-	// it across during line 9.
-	schedule := func(recv *Vehicle, sent []float64, ok bool, senderCore *coreset.Coreset) {
+	// it across during line 9 (or during the broken session a resumed leg
+	// came from, in which case absorption must not repeat).
+	schedule := func(recv *Vehicle, sent []float64, ok bool, senderCore *coreset.Coreset, absorb bool) {
 		var peerFlat []float64
 		if ok && sent != nil {
 			peerFlat = sent
@@ -236,15 +360,49 @@ func (l *LbChat) chat(e *Engine, a, b int) {
 			if peerFlat != nil {
 				l.mergeInto(e, recv, peerFlat, senderCore)
 			}
-			if !l.Variant.NoDataExpansion {
+			if absorb && !l.Variant.NoDataExpansion {
 				_ = e.AbsorbCoreset(recv, senderCore)
 			}
 		})
 	}
-	schedule(vb, sentA, okA, ca)
-	schedule(va, sentB, okB, cb)
+	schedule(vb, sentA, okA, caAtB, !legAB.resumed)
+	schedule(va, sentB, okB, cbAtA, !legBA.resumed)
 	e.Emit(telemetry.ChatCompleted{Time: e.Now(), A: a, B: b, Elapsed: elapsed})
 	e.MarkChatted(a, b, doneAt)
+}
+
+// sendCoreset plays one coreset leg from→to with bounded retry-with-backoff
+// (TransferResilient), salvaging the intact prefix of an incomplete or
+// corrupted payload into a weight-discounted coreset the receiver can still
+// use. It returns what the receiver holds and the air time spent.
+func (l *LbChat) sendCoreset(e *Engine, cs *coreset.Coreset, from, to int, deadline float64) (legOutcome, float64) {
+	if deadline <= 0 {
+		return legOutcome{}, 0
+	}
+	res := e.TransferResilient(telemetry.PayloadCoreset, e.CoresetWireBytes(cs.Len()), from, to, deadline)
+	frames := cs.Len()
+	full := res.Completed
+	if !full {
+		frames = res.BytesDelivered / e.Cfg.PaperFrameBytes
+		if frames > cs.Len() {
+			frames = cs.Len()
+		}
+	} else if keep := e.FaultCorruptCoreset(from, to, frames); keep < frames {
+		frames, full = keep, false
+	}
+	out := legOutcome{frames: frames, full: full}
+	switch {
+	case full:
+		out.core = cs
+	case frames > 0:
+		out.core = salvageCoreset(cs, frames)
+		e.Emit(telemetry.PartialSalvage{
+			Time: e.Now(), Vehicle: to, From: from,
+			Frames: frames, Total: cs.Len(),
+			Discount: float64(frames) / float64(cs.Len()),
+		})
+	}
+	return out, res.Elapsed
 }
 
 // adaptCoresetSize updates the vehicle's contact-duration estimate and

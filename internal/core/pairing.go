@@ -9,14 +9,15 @@ type CandidatePair struct {
 }
 
 // CandidatePairs enumerates vehicle pairs that are currently able to chat:
-// both free (not mid-exchange, past their chat cooldown), within radio
-// range, and past the per-pair cooldown. score computes the pair's priority;
-// pairs scoring zero or less are dropped.
+// both free (not mid-exchange, past their chat cooldown), present (not
+// departed by a churn fault), within radio range, and past the per-pair
+// cooldown. score computes the pair's priority; pairs scoring zero or less
+// are dropped.
 func (e *Engine) CandidatePairs(score func(a, b int) float64) []CandidatePair {
 	now := e.now
 	free := make([]int, 0, len(e.Vehicles))
 	for _, v := range e.Vehicles {
-		if v.BusyUntil <= now && v.NextChatAt <= now {
+		if v.BusyUntil <= now && v.NextChatAt <= now && !e.VehicleAway(v.ID) {
 			free = append(free, v.ID)
 		}
 	}

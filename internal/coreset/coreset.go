@@ -1,13 +1,3 @@
-// Package coreset implements the paper's coreset machinery: layered-sampling
-// construction (Algorithm 1, after [15]), weight assignment inside the
-// coreset, the ε-coreset property check of Definition II.2, and the
-// merge-plus-reduce updating used when local datasets expand quickly
-// (§III-D, after [10]).
-//
-// A coreset here is a small weighted subset of a driving dataset whose
-// weighted loss approximates the full dataset's weighted loss for models
-// near the current one — cheap enough to ship over a vehicular link
-// (~0.6 MB for 150 frames) yet informative enough to price a peer's model.
 package coreset
 
 import (

@@ -1,7 +1,3 @@
-// Package dataset defines the weighted driving datasets exchanged and
-// expanded by LbChat: individual (BEV, command, waypoints) samples with the
-// per-sample weights w(d) of Eq. (2), plus the weighted-dataset container
-// vehicles train on and expand by absorbing peer coresets.
 package dataset
 
 import (

@@ -1,9 +1,3 @@
-// Package eval implements the paper's online evaluation (§IV-D): a trained
-// model is deployed on a testing autopilot that navigates predefined routes
-// under the CARLA-benchmark-style conditions — Straight, One Turn, and full
-// navigation with empty, normal, and dense traffic — and the driving
-// success rate is the fraction of trials that reach the destination within
-// a time budget without collisions or leaving the road.
 package eval
 
 import (

@@ -1,0 +1,10 @@
+// Package experiments reproduces the paper's evaluation (§IV): one harness
+// per table and figure, each building the same workload (map, per-vehicle
+// datasets, mobility trace, probe set, driving benchmark routes), running
+// the protocols under identical communication constraints, and rendering
+// results in the paper's row/series layout.
+//
+// Everything is parameterized by a Scale so the identical code paths run as
+// fast unit tests, as medium benchmarks, and as full paper-scale
+// reproductions (32 vehicles).
+package experiments

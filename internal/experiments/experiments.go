@@ -1,12 +1,3 @@
-// Package experiments reproduces the paper's evaluation (§IV): one harness
-// per table and figure, each building the same workload (map, per-vehicle
-// datasets, mobility trace, probe set, driving benchmark routes), running
-// the protocols under identical communication constraints, and rendering
-// results in the paper's row/series layout.
-//
-// Everything is parameterized by a Scale so the identical code paths run as
-// fast unit tests, as medium benchmarks, and as full paper-scale
-// reproductions (32 vehicles).
 package experiments
 
 import (
@@ -210,6 +201,7 @@ const (
 	ProtoAvgAgg    ProtocolName = "LbChat-AvgAgg"
 	ProtoNoPrio    ProtocolName = "LbChat-NoPrio"
 	ProtoAdaptive  ProtocolName = "LbChat-AdaptiveCS"
+	ProtoNoResume  ProtocolName = "LbChat-NoResume"
 )
 
 // BenchmarkProtocols lists the Fig. 2 / Tables II–III lineup in the paper's
@@ -231,6 +223,8 @@ func (e *Env) newProtocol(name ProtocolName) (core.Protocol, error) {
 		return core.NewLbChatVariant(string(name), core.Variant{NoPrioritization: true}), nil
 	case ProtoAdaptive:
 		return core.NewLbChatVariant(string(name), core.Variant{AdaptiveCoresetSize: true}), nil
+	case ProtoNoResume:
+		return core.NewLbChatVariant(string(name), core.Variant{NoResumption: true}), nil
 	case ProtoProxSkip:
 		return baselines.NewProxSkip(), nil
 	case ProtoRSUL:

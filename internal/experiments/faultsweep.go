@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"context"
+
+	"lbchat/internal/core"
+	"lbchat/internal/faults"
+	"lbchat/internal/metrics"
+)
+
+// FaultSweep is the robustness study (EXPERIMENTS.md "Robustness"): a grid
+// of burst-loss intensity × churn over the lossy wireless regime, with each
+// cell trained twice — full LbChat (session resumption on) against the
+// restart-on-reencounter arm (Variant.NoResumption) — so the table isolates
+// what the DESIGN.md §9 resilience machinery buys as conditions degrade.
+
+// faultSweepCell is one fault setting of the sweep grid.
+type faultSweepCell struct {
+	Label string
+	Cfg   faults.Config
+}
+
+// FaultSweepGrid returns the sweep's fault settings in row order.
+func FaultSweepGrid() []faultSweepCell {
+	noChurn := func(c faults.Config) faults.Config {
+		c.ChurnPerHour, c.AwayMeanSecs = 0, 0
+		return c
+	}
+	return []faultSweepCell{
+		{"no faults", faults.Config{}},
+		{"light bursts", noChurn(faults.Light())},
+		{"heavy bursts", noChurn(faults.Heavy())},
+		{"light bursts + churn", faults.Light()},
+		{"heavy bursts + churn", faults.Heavy()},
+	}
+}
+
+// FaultSweep runs the robustness grid and renders the final-loss table.
+func (e *Env) FaultSweep() (*metrics.Table, error) {
+	tbl, _, err := e.faultSweep(context.Background())
+	return tbl, err
+}
+
+func (e *Env) faultSweep(ctx context.Context) (*metrics.Table, []*ProtocolRun, error) {
+	cells := FaultSweepGrid()
+	protos := []ProtocolName{ProtoLbChat, ProtoNoResume}
+	specs := make([]runSpec, 0, len(cells)*len(protos))
+	for _, cell := range cells {
+		fc := cell.Cfg
+		for _, p := range protos {
+			specs = append(specs, runSpec{name: p,
+				mut: func(c *core.Config) { c.Faults = fc }})
+		}
+	}
+	runs, err := e.runConcurrent(ctx, specs...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if anyCanceled(runs) {
+		return nil, runs, nil
+	}
+	tbl := metrics.NewTable("FaultSweep: final probe loss (x1000), W wireless loss",
+		"LbChat", "LbChat-NoResume")
+	for i, cell := range cells {
+		lb, nr := runs[2*i], runs[2*i+1]
+		tbl.AddRow(cell.Label, 1000*lb.Curve.Final(), 1000*nr.Curve.Final())
+	}
+	return tbl, runs, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"lbchat/internal/core"
+	"lbchat/internal/faults"
 	"lbchat/internal/metrics"
 	"lbchat/internal/telemetry"
 )
@@ -32,6 +33,10 @@ const (
 	ExpAdaptive   = "adaptive"
 	ExpHetero     = "hetero"
 	ExpQuant      = "quant"
+	// ExpFaultSweep is the robustness grid: burst-loss × churn settings,
+	// LbChat with vs without session resumption (EXPERIMENTS.md
+	// "Robustness").
+	ExpFaultSweep = "faultsweep"
 )
 
 // Spec selects and parameterizes one experiment for Run. The zero value
@@ -60,6 +65,12 @@ type Spec struct {
 	// Telemetry, when non-nil, receives every run's full event stream in
 	// deterministic order (see Env.Telemetry). The caller owns Close.
 	Telemetry telemetry.Sink
+	// Faults configures fault injection (internal/faults) for every engine
+	// run the experiment performs; the zero value leaves faults off. It is
+	// applied to the environment's engine config, so it also reaches the
+	// table/figure harnesses. The FaultSweep experiment manages its own
+	// grid and overrides this field per run.
+	Faults faults.Config
 	// Env reuses a prebuilt environment instead of building one from the
 	// scale fields (which are then ignored). Its Telemetry field is
 	// overwritten when Spec.Telemetry is set.
@@ -145,6 +156,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if spec.Telemetry != nil {
 		env.Telemetry = spec.Telemetry
 	}
+	if spec.Faults.Enabled() {
+		env.Cfg.Faults = spec.Faults
+	}
 
 	res := &Result{Experiment: spec.Experiment, Env: env}
 	var err error
@@ -191,6 +205,8 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		res.Table, res.Runs, err = env.heterogeneityStudy(ctx, spec.Lossless)
 	case ExpQuant:
 		res.Table, res.Runs, err = env.compressionSchemeStudy(ctx, spec.Lossless)
+	case ExpFaultSweep:
+		res.Table, res.Runs, err = env.faultSweep(ctx)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", spec.Experiment)
 	}
@@ -244,6 +260,34 @@ func CommTable(runs []*ProtocolRun) *metrics.Table {
 	row("model receive rate (%)", func(r *ProtocolRun) float64 {
 		return 100 * r.Recv.Rate()
 	})
+	// Resilience rows appear only when some run actually exercised them, so
+	// fault-free reports render exactly as before the faults layer existed.
+	anyCount := func(metric string) bool {
+		for _, r := range live {
+			if r.Comm.Reg.Counter(metric) != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if anyCount(telemetry.MFaultsInjected) {
+		row("faults injected", func(r *ProtocolRun) float64 {
+			return float64(r.Comm.Reg.Counter(telemetry.MFaultsInjected))
+		})
+	}
+	if anyCount(telemetry.MChatResumed) {
+		row("chats resumed", func(r *ProtocolRun) float64 {
+			return float64(r.Comm.Reg.Counter(telemetry.MChatResumed))
+		})
+		row("resume MB saved", func(r *ProtocolRun) float64 {
+			return float64(r.Comm.Reg.Counter(telemetry.MResumeSavedB)) * mb
+		})
+	}
+	if anyCount(telemetry.MSalvages) {
+		row("partial salvages", func(r *ProtocolRun) float64 {
+			return float64(r.Comm.Reg.Counter(telemetry.MSalvages))
+		})
+	}
 	row("final probe loss (x1000)", func(r *ProtocolRun) float64 {
 		return 1000 * r.Curve.Final()
 	})

@@ -1,0 +1,38 @@
+// Package faults is the deterministic fault-injection layer of the
+// simulator: it perturbs the communication substrate with the failure modes
+// an opportunistic vehicular network actually exhibits, so the resilience
+// logic in internal/core (session resumption, partial-transfer salvage,
+// retry-with-backoff) has something real to push against.
+//
+// Four fault classes are modeled (the taxonomy and the recovery state
+// machine are documented in DESIGN.md §9 "Fault model & resilience"):
+//
+//   - Burst packet loss: per-link episodes that ADD to the distance-based
+//     packet-error table while active, driven by an alternating
+//     exponential gap/duration renewal process.
+//   - Contact-window truncation: a chat's usable exchange window is cut to
+//     a random fraction, modeling encounters that break off early.
+//   - Vehicle churn: vehicles depart the communication system and rejoin
+//     later with their (now stale) frozen model.
+//   - Payload corruption: a coreset payload that completed on air arrives
+//     with only a prefix of its frames intact.
+//
+// Key types: Config (one knob set per fault class; the zero value disables
+// everything and draws no randomness), the off/light/heavy profiles behind
+// the -faults CLI flag (ByName), and Injector, the stateful per-run
+// instance the engine consults.
+//
+// Invariants:
+//
+//   - Determinism. Every draw comes from simrand streams derived from the
+//     engine's root seed: one stream per link for burst timelines, one per
+//     vehicle for churn, and one serial "chat" stream for window/corruption
+//     draws made on the protocol path. All Injector methods are called only
+//     from the engine's serial phases, so the injected fault stream — and
+//     therefore the whole run — is bit-identical at any -workers count.
+//   - Monotone queries. Burst timelines advance forward only; LinkBoost
+//     closures must be queried with non-decreasing times per link, which
+//     the engine's monotone virtual clock guarantees.
+//   - The zero Config is free: Enabled() is false, the engine skips every
+//     hook, and runs behave exactly as if this package did not exist.
+package faults

@@ -1,0 +1,267 @@
+package faults
+
+import (
+	"fmt"
+
+	"lbchat/internal/simrand"
+)
+
+// Config parameterizes one fault-injection regime. The zero value disables
+// every fault class, draws no randomness, and leaves runs bit-identical to
+// a build without the faults layer.
+type Config struct {
+	// BurstPerHour is the expected number of burst-loss episodes per hour
+	// on each vehicle pair's link; 0 disables bursts.
+	BurstPerHour float64
+	// BurstMeanSecs is the mean episode duration (s).
+	BurstMeanSecs float64
+	// BurstAddedPER is the packet-error rate added to the distance-loss
+	// table while an episode is active (clamped to 1 at the radio).
+	BurstAddedPER float64
+
+	// TruncProb is the probability that an initiated chat's exchange
+	// window is cut short; 0 disables window truncation.
+	TruncProb float64
+	// TruncKeepMax bounds the surviving window: a truncated window keeps a
+	// Uniform(0, TruncKeepMax) fraction of its length.
+	TruncKeepMax float64
+
+	// ChurnPerHour is the expected number of departures per hour per
+	// vehicle; 0 disables churn.
+	ChurnPerHour float64
+	// AwayMeanSecs is the mean absence duration (s) of a departed vehicle.
+	AwayMeanSecs float64
+
+	// CorruptProb is the probability that a fully delivered coreset
+	// payload arrives with only a prefix of its frames intact.
+	CorruptProb float64
+
+	// MaxRetries bounds the retry-with-backoff recovery for loss-truncated
+	// transfers inside a contact window (recovery, not a fault: it is only
+	// active while faults are enabled).
+	MaxRetries int
+	// RetryBackoffSecs is the first retry's backoff (s); it doubles per
+	// attempt and is spent from the transfer's window.
+	RetryBackoffSecs float64
+}
+
+// Enabled reports whether any fault class is configured. The engine skips
+// every injection hook when false.
+func (c Config) Enabled() bool { return c != Config{} }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.BurstPerHour < 0 || c.BurstMeanSecs < 0 || c.BurstAddedPER < 0 || c.BurstAddedPER > 1:
+		return fmt.Errorf("faults: invalid burst parameters (%g/h, %gs, +%g PER)",
+			c.BurstPerHour, c.BurstMeanSecs, c.BurstAddedPER)
+	case c.BurstPerHour > 0 && (c.BurstMeanSecs <= 0 || c.BurstAddedPER <= 0):
+		return fmt.Errorf("faults: bursts enabled but duration %gs / added PER %g not positive",
+			c.BurstMeanSecs, c.BurstAddedPER)
+	case c.TruncProb < 0 || c.TruncProb > 1 || c.TruncKeepMax < 0 || c.TruncKeepMax > 1:
+		return fmt.Errorf("faults: invalid truncation parameters (p=%g, keep≤%g)", c.TruncProb, c.TruncKeepMax)
+	case c.ChurnPerHour < 0 || c.AwayMeanSecs < 0:
+		return fmt.Errorf("faults: invalid churn parameters (%g/h, %gs away)", c.ChurnPerHour, c.AwayMeanSecs)
+	case c.ChurnPerHour > 0 && c.AwayMeanSecs <= 0:
+		return fmt.Errorf("faults: churn enabled but absence duration %gs not positive", c.AwayMeanSecs)
+	case c.CorruptProb < 0 || c.CorruptProb > 1:
+		return fmt.Errorf("faults: invalid corruption probability %g", c.CorruptProb)
+	case c.MaxRetries < 0 || c.RetryBackoffSecs < 0:
+		return fmt.Errorf("faults: invalid retry parameters (%d retries, %gs backoff)", c.MaxRetries, c.RetryBackoffSecs)
+	}
+	return nil
+}
+
+// Light returns a mild fault regime: occasional short loss bursts, rare
+// window cuts, light churn.
+func Light() Config {
+	return Config{
+		BurstPerHour: 6, BurstMeanSecs: 20, BurstAddedPER: 0.25,
+		TruncProb: 0.1, TruncKeepMax: 0.6,
+		ChurnPerHour: 1, AwayMeanSecs: 180,
+		CorruptProb: 0.05,
+		MaxRetries:  2, RetryBackoffSecs: 0.5,
+	}
+}
+
+// Heavy returns an aggressive fault regime: frequent deep loss bursts,
+// common window cuts, heavy churn, and regular payload corruption.
+func Heavy() Config {
+	return Config{
+		BurstPerHour: 18, BurstMeanSecs: 30, BurstAddedPER: 0.45,
+		TruncProb: 0.25, TruncKeepMax: 0.5,
+		ChurnPerHour: 3, AwayMeanSecs: 300,
+		CorruptProb: 0.15,
+		MaxRetries:  2, RetryBackoffSecs: 0.5,
+	}
+}
+
+// ByName resolves a -faults flag value to a profile: "off" (or empty),
+// "light", or "heavy".
+func ByName(name string) (Config, error) {
+	switch name {
+	case "", "off", "none":
+		return Config{}, nil
+	case "light":
+		return Light(), nil
+	case "heavy":
+		return Heavy(), nil
+	}
+	return Config{}, fmt.Errorf("faults: unknown profile %q (want off, light, or heavy)", name)
+}
+
+// Injector is one run's live fault state. It is created from a dedicated
+// simrand stream derived from the run's root seed and must only be touched
+// from the engine's serial phases (see the package invariants).
+type Injector struct {
+	cfg Config
+	// root derives per-link and per-vehicle streams; chat serves the
+	// serial protocol-path draws (window truncation, corruption).
+	root *simrand.Rand
+	chat *simrand.Rand
+
+	links map[[2]int]*burstTimeline
+	churn []*churnState
+}
+
+// NewInjector builds the injector for a fleet of numVehicles from its own
+// derived random stream.
+func NewInjector(cfg Config, rng *simrand.Rand, numVehicles int) *Injector {
+	j := &Injector{
+		cfg:   cfg,
+		root:  rng,
+		chat:  rng.Derive("chat"),
+		links: make(map[[2]int]*burstTimeline),
+	}
+	if cfg.ChurnPerHour > 0 {
+		j.churn = make([]*churnState, numVehicles)
+		for i := range j.churn {
+			r := rng.DeriveIndexed("churn", i)
+			j.churn[i] = &churnState{rng: r, nextDepart: r.Exponential(cfg.ChurnPerHour / 3600)}
+		}
+	}
+	return j
+}
+
+// Config returns the injector's configuration (retry tuning etc.).
+func (j *Injector) Config() Config { return j.cfg }
+
+// burstTimeline is one link's renewal process of loss episodes: exponential
+// quiet gaps alternating with exponential burst durations, advanced lazily
+// and forward-only.
+type burstTimeline struct {
+	rng        *simrand.Rand
+	start, end float64 // current (or most recent) episode
+	next       float64 // start of the episode after it
+}
+
+func (tl *burstTimeline) boost(t float64, c Config) float64 {
+	for t >= tl.next {
+		tl.start = tl.next
+		tl.end = tl.start + tl.rng.Exponential(1/c.BurstMeanSecs)
+		tl.next = tl.end + tl.rng.Exponential(c.BurstPerHour/3600)
+	}
+	if t >= tl.start && t < tl.end {
+		return c.BurstAddedPER
+	}
+	return 0
+}
+
+// LinkBoost returns the added packet-error rate on the (a, b) link as a
+// function of absolute time, for the radio's perturbed-transfer hook, or
+// nil when bursts are disabled. Queries on one link must be monotone in
+// time; link order does not matter.
+func (j *Injector) LinkBoost(a, b int) func(t float64) float64 {
+	if j.cfg.BurstPerHour <= 0 || j.cfg.BurstAddedPER <= 0 {
+		return nil
+	}
+	if a > b {
+		a, b = b, a
+	}
+	key := [2]int{a, b}
+	tl, ok := j.links[key]
+	if !ok {
+		tl = &burstTimeline{rng: j.root.Derive(fmt.Sprintf("burst#%d#%d", a, b))}
+		tl.start, tl.end = -1, -1
+		tl.next = tl.rng.Exponential(j.cfg.BurstPerHour / 3600)
+		j.links[key] = tl
+	}
+	return func(t float64) float64 { return tl.boost(t, j.cfg) }
+}
+
+// churnState is one vehicle's depart/rejoin renewal process.
+type churnState struct {
+	rng        *simrand.Rand
+	nextDepart float64
+	rejoinAt   float64 // 0 while the vehicle is present
+}
+
+// ChurnEvent is one churn transition surfaced by Tick for telemetry.
+type ChurnEvent struct {
+	Vehicle int
+	// Rejoin distinguishes a return from a departure.
+	Rejoin bool
+	// Until is the departure's scheduled rejoin time (absolute, s).
+	Until float64
+}
+
+// Tick advances churn to virtual time now and returns the transitions that
+// fired, in vehicle-index order. Call exactly once per engine tick, from
+// the serial phase.
+func (j *Injector) Tick(now float64) []ChurnEvent {
+	if len(j.churn) == 0 {
+		return nil
+	}
+	var out []ChurnEvent
+	for i, cs := range j.churn {
+		if cs.rejoinAt > 0 {
+			if now >= cs.rejoinAt {
+				cs.rejoinAt = 0
+				out = append(out, ChurnEvent{Vehicle: i, Rejoin: true})
+			}
+			continue
+		}
+		if now >= cs.nextDepart {
+			cs.rejoinAt = now + cs.rng.Exponential(1/j.cfg.AwayMeanSecs)
+			cs.nextDepart = cs.rejoinAt + cs.rng.Exponential(j.cfg.ChurnPerHour/3600)
+			out = append(out, ChurnEvent{Vehicle: i, Until: cs.rejoinAt})
+		}
+	}
+	return out
+}
+
+// Away reports whether the vehicle is currently departed (as of the last
+// Tick). Departed vehicles neither train nor chat; their model freezes and
+// is stale on rejoin.
+func (j *Injector) Away(v int) bool {
+	if len(j.churn) == 0 {
+		return false
+	}
+	return j.churn[v].rejoinAt > 0
+}
+
+// TruncateWindow draws whether a chat's exchange window is cut short and
+// returns the surviving window. One serial draw sequence feeds all chats,
+// in chat order.
+func (j *Injector) TruncateWindow(window float64) (float64, bool) {
+	if j.cfg.TruncProb <= 0 || window <= 0 {
+		return window, false
+	}
+	if !j.chat.Bernoulli(j.cfg.TruncProb) {
+		return window, false
+	}
+	return window * j.chat.Uniform(0, j.cfg.TruncKeepMax), true
+}
+
+// CorruptPayload draws whether a fully delivered frames-frame coreset
+// payload arrives with only a prefix intact, returning the intact count
+// (possibly 0). Same serial draw stream as TruncateWindow.
+func (j *Injector) CorruptPayload(frames int) (int, bool) {
+	if j.cfg.CorruptProb <= 0 || frames <= 0 {
+		return frames, false
+	}
+	if !j.chat.Bernoulli(j.cfg.CorruptProb) {
+		return frames, false
+	}
+	return j.chat.Intn(frames), true
+}

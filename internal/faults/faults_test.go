@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"testing"
+
+	"lbchat/internal/simrand"
+)
+
+func TestConfigEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if !Light().Enabled() || !Heavy().Enabled() {
+		t.Error("profiles report disabled")
+	}
+	if !(Config{MaxRetries: 1}).Enabled() {
+		t.Error("any non-zero field should enable the layer")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, c := range []Config{{}, Light(), Heavy()} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %+v rejected: %v", c, err)
+		}
+	}
+	bad := []Config{
+		{BurstPerHour: -1},
+		{BurstAddedPER: 1.5},
+		{BurstPerHour: 2}, // bursts on, but no duration/PER
+		{TruncProb: 2},
+		{TruncKeepMax: -0.1},
+		{ChurnPerHour: 1}, // churn on, but no absence duration
+		{AwayMeanSecs: -5},
+		{CorruptProb: -0.2},
+		{MaxRetries: -1},
+		{RetryBackoffSecs: -1},
+	}
+	for _, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "off", "none"} {
+		c, err := ByName(name)
+		if err != nil || c.Enabled() {
+			t.Errorf("ByName(%q) = %+v, %v; want disabled zero config", name, c, err)
+		}
+	}
+	if c, err := ByName("light"); err != nil || c != Light() {
+		t.Errorf("ByName(light) = %+v, %v", c, err)
+	}
+	if c, err := ByName("heavy"); err != nil || c != Heavy() {
+		t.Errorf("ByName(heavy) = %+v, %v", c, err)
+	}
+	if _, err := ByName("catastrophic"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+// TestLinkBoostDeterministicAndSymmetric pins the burst timeline's two
+// contracts: the boost sequence on a link is a pure function of the seed
+// (two injectors built from identically seeded streams agree at every query
+// time), and link order does not matter — (a, b) and (b, a) share one
+// timeline.
+func TestLinkBoostDeterministicAndSymmetric(t *testing.T) {
+	cfg := Heavy()
+	j1 := NewInjector(cfg, simrand.New(11).Derive("faults"), 4)
+	j2 := NewInjector(cfg, simrand.New(11).Derive("faults"), 4)
+	b1 := j1.LinkBoost(2, 0)
+	b2 := j2.LinkBoost(0, 2)
+	if b1 == nil || b2 == nil {
+		t.Fatal("bursts enabled but LinkBoost returned nil")
+	}
+	sawBurst := false
+	for ti := 0; ti < 4000; ti++ {
+		now := float64(ti)
+		v1, v2 := b1(now), b2(now)
+		if v1 != v2 {
+			t.Fatalf("t=%v: boost %v vs %v across injectors/link orders", now, v1, v2)
+		}
+		if v1 != 0 {
+			sawBurst = true
+			if v1 != cfg.BurstAddedPER {
+				t.Fatalf("t=%v: boost %v, want %v", now, v1, cfg.BurstAddedPER)
+			}
+		}
+	}
+	if !sawBurst {
+		t.Error("no burst episode in over an hour at 18/h")
+	}
+	// Same injector, same pair again: must reuse the existing timeline, not
+	// re-derive and restart it.
+	if j1.LinkBoost(0, 2)(3999) != b2(3999) {
+		t.Error("re-requested link boost diverges from its timeline")
+	}
+}
+
+func TestLinkBoostDisabled(t *testing.T) {
+	j := NewInjector(Config{TruncProb: 0.5, TruncKeepMax: 0.5}, simrand.New(1), 2)
+	if j.LinkBoost(0, 1) != nil {
+		t.Error("bursts disabled but LinkBoost returned a hook")
+	}
+}
+
+// TestChurnTick walks an aggressive churn regime through an hour of ticks
+// and checks the state machine: depart and rejoin events alternate per
+// vehicle, Away tracks them exactly, and the whole trajectory is a pure
+// function of the seed.
+func TestChurnTick(t *testing.T) {
+	cfg := Config{ChurnPerHour: 30, AwayMeanSecs: 60}
+	run := func() []ChurnEvent {
+		j := NewInjector(cfg, simrand.New(5).Derive("faults"), 3)
+		var all []ChurnEvent
+		away := map[int]bool{}
+		for ti := 0; ti < 3600; ti++ {
+			for _, ev := range j.Tick(float64(ti)) {
+				if ev.Rejoin != away[ev.Vehicle] {
+					t.Fatalf("t=%d: vehicle %d rejoin=%v while away=%v", ti, ev.Vehicle, ev.Rejoin, away[ev.Vehicle])
+				}
+				if !ev.Rejoin && ev.Until <= float64(ti) {
+					t.Fatalf("t=%d: departure with rejoin time %v in the past", ti, ev.Until)
+				}
+				away[ev.Vehicle] = !ev.Rejoin
+				all = append(all, ev)
+			}
+			for v := 0; v < 3; v++ {
+				if j.Away(v) != away[v] {
+					t.Fatalf("t=%d: Away(%d) = %v, want %v", ti, v, j.Away(v), away[v])
+				}
+			}
+		}
+		return all
+	}
+	first := run()
+	if len(first) < 4 {
+		t.Fatalf("only %d churn events in an hour at 30/h/vehicle", len(first))
+	}
+	second := run()
+	if len(first) != len(second) {
+		t.Fatalf("churn not deterministic: %d vs %d events", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("churn event %d differs: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+}
+
+func TestChurnDisabled(t *testing.T) {
+	j := NewInjector(Config{CorruptProb: 0.5}, simrand.New(1), 4)
+	if evs := j.Tick(1e6); evs != nil {
+		t.Errorf("churn disabled but Tick returned %v", evs)
+	}
+	if j.Away(0) {
+		t.Error("churn disabled but vehicle away")
+	}
+}
+
+func TestTruncateWindow(t *testing.T) {
+	j := NewInjector(Config{TruncProb: 1, TruncKeepMax: 0.5}, simrand.New(9), 2)
+	for i := 0; i < 100; i++ {
+		got, cut := j.TruncateWindow(10)
+		if !cut {
+			t.Fatal("TruncProb=1 did not truncate")
+		}
+		if got < 0 || got > 5 {
+			t.Fatalf("truncated window %v outside [0, 5]", got)
+		}
+	}
+	if got, cut := j.TruncateWindow(0); cut || got != 0 {
+		t.Error("zero window truncated")
+	}
+	off := NewInjector(Config{CorruptProb: 0.5}, simrand.New(9), 2)
+	if got, cut := off.TruncateWindow(10); cut || got != 10 {
+		t.Error("truncation disabled but window changed")
+	}
+}
+
+func TestCorruptPayload(t *testing.T) {
+	j := NewInjector(Config{CorruptProb: 1}, simrand.New(9), 2)
+	for i := 0; i < 100; i++ {
+		got, hit := j.CorruptPayload(30)
+		if !hit {
+			t.Fatal("CorruptProb=1 did not corrupt")
+		}
+		if got < 0 || got >= 30 {
+			t.Fatalf("intact prefix %d outside [0, 30)", got)
+		}
+	}
+	if got, hit := j.CorruptPayload(0); hit || got != 0 {
+		t.Error("empty payload corrupted")
+	}
+	off := NewInjector(Config{TruncProb: 0.5, TruncKeepMax: 1}, simrand.New(9), 2)
+	if got, hit := off.CorruptPayload(30); hit || got != 30 {
+		t.Error("corruption disabled but payload changed")
+	}
+}

@@ -1,0 +1,9 @@
+// Package geom provides the 2D geometry primitives used by the driving-world
+// simulator: points, segments, polylines with arc-length parameterization,
+// and ego-frame transforms for bird's-eye-view rasterization.
+//
+// Polyline is the workhorse: routes, lanes, and vehicle paths are all
+// polylines, and arc-length parameterization (PointAt, length-preserving
+// resampling) is what lets the trace layer place vehicles and estimate
+// contact durations along shared routes.
+package geom

@@ -1,6 +1,3 @@
-// Package geom provides the 2D geometry primitives used by the driving-world
-// simulator: points, segments, polylines with arc-length parameterization,
-// and ego-frame transforms for bird's-eye-view rasterization.
 package geom
 
 import "math"

@@ -1,11 +1,3 @@
-// Package interp implements Akima's interpolation and smooth curve fitting
-// (Akima, JACM 1970), the method the paper uses (its reference [21]) to fit
-// the mapping function φ between a model's compression level ψ and its
-// resulting loss on a coreset.
-//
-// Akima splines are local: each interval's cubic depends only on nearby
-// points, so one noisy sample does not ripple across the whole curve —
-// well-suited to the small, irregular (ψ, loss) sample sets vehicles collect.
 package interp
 
 import (

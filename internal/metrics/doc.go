@@ -1,0 +1,9 @@
+// Package metrics records the observables the paper reports: training-loss
+// curves over virtual time (Figs. 2 and 3), successful model-receiving rates
+// (§IV-C), and helper renderers that print table rows in the paper's layout.
+//
+// Curve accumulates (virtual time, value) points and renders ASCII plots;
+// ReceiveStats counts model-transfer outcomes; Table is the fixed-layout
+// numeric table behind every printed artifact (Tables II–VII, the extension
+// studies, and the communication-efficiency and FaultSweep reports).
+package metrics

@@ -1,6 +1,3 @@
-// Package metrics records the observables the paper reports: training-loss
-// curves over virtual time (Figs. 2 and 3), successful model-receiving rates
-// (§IV-C), and helper renderers that print table rows in the paper's layout.
 package metrics
 
 import (
@@ -150,18 +147,31 @@ func (t *Table) Render() string {
 			labelWidth = len(r.label)
 		}
 	}
+	// Column width follows the widest header, so long names (e.g.
+	// "LbChat-NoResume") never mash into their neighbor.
+	colWidth := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		colWidth[i] = 12
+		if len(c)+2 > colWidth[i] {
+			colWidth[i] = len(c) + 2
+		}
+	}
 	fmt.Fprintf(&b, "%-*s", labelWidth+2, "Task")
-	for _, c := range t.Columns {
-		fmt.Fprintf(&b, "%12s", c)
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", colWidth[i], c)
 	}
 	b.WriteByte('\n')
 	for _, r := range t.rows {
 		fmt.Fprintf(&b, "%-*s", labelWidth+2, r.label)
-		for _, v := range r.values {
+		for i, v := range r.values {
+			w := 12
+			if i < len(colWidth) {
+				w = colWidth[i]
+			}
 			if v == math.Trunc(v) && math.Abs(v) < 1e6 {
-				fmt.Fprintf(&b, "%12.0f", v)
+				fmt.Fprintf(&b, "%*.0f", w, v)
 			} else {
-				fmt.Fprintf(&b, "%12.2f", v)
+				fmt.Fprintf(&b, "%*.2f", w, v)
 			}
 		}
 		b.WriteByte('\n')

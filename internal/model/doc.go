@@ -1,0 +1,9 @@
+// Package model implements the BEV-based driving decision model: a
+// command-branched imitation-learning network that maps a bird's-eye-view
+// tensor and a high-level navigation command to the next few waypoints,
+// trained with the penalized loss of Eq. (6).
+//
+// It stands in for the paper's 52 MB "privileged agent" [19]: same I/O
+// contract and loss family, with a configurable parameter count so a pure-Go
+// CPU simulation can train dozens of replicas concurrently.
+package model

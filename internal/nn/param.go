@@ -1,11 +1,3 @@
-// Package nn is a small, from-scratch neural-network library: dense and
-// convolutional layers with full backpropagation, SGD and Adam optimizers,
-// and a flat parameter-vector view used by the compression, aggregation, and
-// serialization layers of LbChat.
-//
-// It substitutes for the PyTorch imitation-learning stack the paper runs on a
-// GPU: same input/output contract and loss family, sized so that dozens of
-// model replicas can be trained on a CPU inside the co-simulation.
 package nn
 
 import (

@@ -1,18 +1,3 @@
-// Package optimize solves the Eq. (7) compression-ratio optimization: given
-// the coreset-based value assessments of two encountered vehicles' models
-// and the fitted φ curves predicting compressed-model losses, choose the
-// per-direction compression levels (ψ_i, ψ_j) maximizing the joint exchange
-// gain under the contact-time and bandwidth constraints.
-//
-// Sign convention (see DESIGN.md "intent-vs-text corrections"): a vehicle's
-// gain from receiving the peer's model compressed at ψ is
-//
-//	ReLU( f(x_self; C_peer) − φ_peer(ψ) )
-//
-// — positive exactly when the peer's (compressed) model explains the peer's
-// data better than the receiver's own model does, which is the "value"
-// semantics of §III-C. The third term rewards unused exchange time so
-// uninterested vehicles decouple quickly.
 package optimize
 
 import (

@@ -1,14 +1,3 @@
-// Package parallel provides the deterministic fan-out primitives the
-// simulator's hot loops are built on: a bounded worker pool with
-// order-preserving Map/ForEach helpers and a contiguous-chunk splitter for
-// data-parallel kernels.
-//
-// Determinism contract: every helper assigns work by index, writes results
-// into index-addressed slots, and reduces (where it reduces at all) in index
-// order. A computation whose per-index work is itself deterministic therefore
-// produces bit-identical output at any worker count, including the inline
-// serial path taken when workers == 1 — which is exactly the pre-parallel
-// behavior of the code that now calls these helpers.
 package parallel
 
 import (

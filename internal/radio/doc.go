@@ -1,0 +1,13 @@
+// Package radio models pairwise vehicle-to-vehicle wireless communication
+// with the parameters of §IV-A: 1500-byte packets, 31 Mbps peak bandwidth,
+// 500 m maximum range, up to three retransmissions per packet, and a
+// distance-based packet-error lookup table in the style of [13].
+//
+// It provides both closed-form quantities (expected transfer time, message
+// success probability — the p_ij of Eq. (5)) and a stochastic transfer
+// simulation used by the co-simulation engines. SimulateTransferPerturbed
+// additionally accepts a time-varying packet-error boost, the hook the
+// fault-injection layer (internal/faults) uses to overlay burst-loss
+// episodes on the distance table without touching it; a nil boost is
+// byte-identical to SimulateTransfer.
+package radio

@@ -1,11 +1,3 @@
-// Package radio models pairwise vehicle-to-vehicle wireless communication
-// with the parameters of §IV-A: 1500-byte packets, 31 Mbps peak bandwidth,
-// 500 m maximum range, up to three retransmissions per packet, and a
-// distance-based packet-error lookup table in the style of [13].
-//
-// It provides both closed-form quantities (expected transfer time, message
-// success probability — the p_ij of Eq. (5)) and a stochastic transfer
-// simulation used by the co-simulation engines.
 package radio
 
 import (
@@ -116,7 +108,12 @@ func (m *Model) per(dist float64) float64 {
 // PacketDeliveryProb returns the probability that one packet is delivered
 // within the retransmission budget at the given distance.
 func (m *Model) PacketDeliveryProb(dist float64) float64 {
-	per := m.per(dist)
+	return m.deliveryProbFromPER(m.per(dist))
+}
+
+// deliveryProbFromPER is PacketDeliveryProb for an explicit packet-error
+// rate (the perturbed-transfer path layers burst loss on top of the table).
+func (m *Model) deliveryProbFromPER(per float64) float64 {
 	return 1 - math.Pow(per, float64(m.Params.MaxTransmissions))
 }
 
@@ -124,7 +121,11 @@ func (m *Model) PacketDeliveryProb(dist float64) float64 {
 // packet (counting retransmissions, whether or not the packet ultimately
 // gets through).
 func (m *Model) ExpectedAttempts(dist float64) float64 {
-	per := m.per(dist)
+	return m.attemptsFromPER(m.per(dist))
+}
+
+// attemptsFromPER is ExpectedAttempts for an explicit packet-error rate.
+func (m *Model) attemptsFromPER(per float64) float64 {
 	if per >= 1 {
 		return float64(m.Params.MaxTransmissions)
 	}
@@ -199,6 +200,16 @@ const (
 // probability; a packet that exhausts its retransmissions aborts the
 // transfer (the paper counts such models as not received).
 func (m *Model) SimulateTransfer(bytes int, dist func(elapsed float64) float64, bps, deadline float64, rng *simrand.Rand) TransferResult {
+	return m.SimulateTransferPerturbed(bytes, dist, nil, bps, deadline, rng)
+}
+
+// SimulateTransferPerturbed is SimulateTransfer with an optional
+// packet-error perturbation: boost(elapsed) is ADDED to the table's
+// packet-error rate (clamped to 1) for the slice starting at elapsed. The
+// fault-injection layer uses it to overlay burst-loss episodes without
+// touching the loss table. A nil boost makes this byte-identical to
+// SimulateTransfer — same math, same rng draws.
+func (m *Model) SimulateTransferPerturbed(bytes int, dist func(elapsed float64) float64, boost func(elapsed float64) float64, bps, deadline float64, rng *simrand.Rand) TransferResult {
 	const slice = 1.0
 	if bytes <= 0 {
 		return TransferResult{Completed: true}
@@ -221,8 +232,12 @@ func (m *Model) SimulateTransfer(bytes int, dist func(elapsed float64) float64, 
 		if d > m.Params.MaxRangeMeters {
 			return TransferResult{Elapsed: elapsed, BytesDelivered: delivered * packetBytes, Truncated: TruncRange}
 		}
+		per := m.per(d)
+		if boost != nil {
+			per = math.Min(1, per+boost(elapsed))
+		}
 		dt := math.Min(slice, deadline-elapsed)
-		attempts := m.ExpectedAttempts(d)
+		attempts := m.attemptsFromPER(per)
 		packetTime := float64(packetBytes*8) / bps
 		sliceCapacity := int(dt / (packetTime * attempts))
 		if sliceCapacity <= 0 {
@@ -234,7 +249,7 @@ func (m *Model) SimulateTransfer(bytes int, dist func(elapsed float64) float64, 
 		}
 		// Fatal loss: any of the n packets exhausting its budget kills the
 		// transfer.
-		q := m.PacketDeliveryProb(d)
+		q := m.deliveryProbFromPER(per)
 		surviveAll := math.Exp(float64(n) * math.Log(math.Max(q, 1e-300)))
 		if q < 1 && !rng.Bernoulli(surviveAll) {
 			// The abort happens partway through the slice on average.

@@ -296,3 +296,135 @@ func TestSimulateTransferInvariants(t *testing.T) {
 		}
 	}
 }
+
+// TestSimulateTransferTruncationBranches is the table-driven sweep over
+// every way a transfer can stop early (and the degenerate inputs that never
+// start): the scenario fixes payload, geometry, and budget so exactly one
+// truncation branch fires deterministically.
+func TestSimulateTransferTruncationBranches(t *testing.T) {
+	cases := []struct {
+		name      string
+		lossless  bool
+		bytes     int
+		dist      func(float64) float64
+		bps       float64
+		deadline  float64
+		seed      uint64
+		completed bool
+		truncated string
+		wantBytes bool // some bytes must have landed
+	}{
+		{
+			name: "completes in close range", lossless: false,
+			bytes: 600_000, dist: func(float64) float64 { return 20 },
+			bps: 31e6, deadline: 30, seed: 1,
+			completed: true, truncated: "", wantBytes: true,
+		},
+		{
+			name: "deadline expires mid-transfer", lossless: true,
+			bytes: 52_000_000, dist: func(float64) float64 { return 10 },
+			bps: 31e6, deadline: 5, seed: 2,
+			completed: false, truncated: TruncDeadline, wantBytes: true,
+		},
+		{
+			name: "peer out of range at start", lossless: false,
+			bytes: 1000, dist: func(float64) float64 { return 600 },
+			bps: 31e6, deadline: 10, seed: 3,
+			completed: false, truncated: TruncRange,
+		},
+		{
+			name: "peer drifts out of range", lossless: true,
+			bytes: 52_000_000, dist: func(el float64) float64 { return 400 + 40*el },
+			bps: 31e6, deadline: 60, seed: 4,
+			completed: false, truncated: TruncRange, wantBytes: true,
+		},
+		{
+			name: "packet loss kills far-range transfer", lossless: false,
+			bytes: 52_000_000, dist: func(float64) float64 { return 480 },
+			bps: 31e6, deadline: 600, seed: 0,
+			completed: false, truncated: TruncLoss, wantBytes: true,
+		},
+		{
+			name: "zero deadline never starts", lossless: false,
+			bytes: 1000, dist: func(float64) float64 { return 20 },
+			bps: 31e6, deadline: 0, seed: 5,
+			completed: false, truncated: TruncDeadline,
+		},
+		{
+			name: "zero bandwidth never starts", lossless: false,
+			bytes: 1000, dist: func(float64) float64 { return 20 },
+			bps: 0, deadline: 10, seed: 6,
+			completed: false, truncated: TruncDeadline,
+		},
+		{
+			name: "empty payload is trivially complete", lossless: false,
+			bytes: 0, dist: func(float64) float64 { return 20 },
+			bps: 31e6, deadline: 10, seed: 7,
+			completed: true, truncated: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := NewModel(tc.lossless)
+			res := m.SimulateTransfer(tc.bytes, tc.dist, tc.bps, tc.deadline, simrand.New(tc.seed))
+			if res.Completed != tc.completed {
+				t.Errorf("Completed = %v, want %v (%+v)", res.Completed, tc.completed, res)
+			}
+			if res.Truncated != tc.truncated {
+				t.Errorf("Truncated = %q, want %q", res.Truncated, tc.truncated)
+			}
+			if tc.wantBytes && res.BytesDelivered <= 0 {
+				t.Errorf("no bytes delivered: %+v", res)
+			}
+			if res.Elapsed > tc.deadline+1e-9 {
+				t.Errorf("elapsed %v exceeds deadline %v", res.Elapsed, tc.deadline)
+			}
+		})
+	}
+}
+
+// TestSimulateTransferPerturbedNilBoost pins the faults-off acceptance
+// criterion at the radio layer: a nil boost must reproduce SimulateTransfer
+// bit for bit, including the rng draw sequence (checked by comparing a draw
+// made after each call).
+func TestSimulateTransferPerturbedNilBoost(t *testing.T) {
+	m := NewModel(false)
+	for seed := uint64(0); seed < 20; seed++ {
+		r1, r2 := simrand.New(seed), simrand.New(seed)
+		dist := func(el float64) float64 { return 100 + 10*el }
+		a := m.SimulateTransfer(5_000_000, dist, 25e6, 20, r1)
+		b := m.SimulateTransferPerturbed(5_000_000, dist, nil, 25e6, 20, r2)
+		if a != b {
+			t.Fatalf("seed %d: results diverge: %+v vs %+v", seed, a, b)
+		}
+		if x, y := r1.Uniform(0, 1), r2.Uniform(0, 1); x != y {
+			t.Fatalf("seed %d: rng draw counts diverge (%v vs %v)", seed, x, y)
+		}
+	}
+}
+
+// TestSimulateTransferPerturbedBoostHurts: a saturating packet-error boost
+// must abort a transfer that succeeds cleanly without it.
+func TestSimulateTransferPerturbedBoostHurts(t *testing.T) {
+	m := NewModel(false)
+	dist := func(float64) float64 { return 20 }
+	clean := m.SimulateTransferPerturbed(600_000, dist, nil, 31e6, 30, simrand.New(1))
+	if !clean.Completed {
+		t.Fatalf("baseline transfer failed: %+v", clean)
+	}
+	jammed := m.SimulateTransferPerturbed(600_000, dist,
+		func(float64) float64 { return 1 }, 31e6, 30, simrand.New(1))
+	if jammed.Completed {
+		t.Fatal("transfer completed through a PER=1 burst")
+	}
+	if jammed.Truncated != TruncLoss {
+		t.Errorf("jammed truncation = %q, want %q", jammed.Truncated, TruncLoss)
+	}
+	// Partial boost raises expected attempts, so the same payload takes
+	// longer when it does survive.
+	slow := m.SimulateTransferPerturbed(600_000, dist,
+		func(float64) float64 { return 0.3 }, 31e6, 30, simrand.New(42))
+	if slow.Completed && slow.Elapsed <= clean.Elapsed {
+		t.Errorf("boosted transfer not slower: %v vs %v", slow.Elapsed, clean.Elapsed)
+	}
+}

@@ -1,0 +1,9 @@
+// Package sched provides the discrete-event machinery for the virtual-time
+// co-simulation: a deterministic event queue ordered by (time, sequence) so
+// simultaneous events fire in insertion order, making whole runs
+// reproducible.
+//
+// The queue carries deferred effects — chiefly transfer completions: a chat
+// decides its outcome at initiation time but the dataset expansion and model
+// merge take effect only when the payload would actually have landed.
+package sched

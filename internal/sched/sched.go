@@ -1,7 +1,3 @@
-// Package sched provides the discrete-event machinery for the virtual-time
-// co-simulation: a deterministic event queue ordered by (time, sequence) so
-// simultaneous events fire in insertion order, making whole runs
-// reproducible.
 package sched
 
 import "container/heap"

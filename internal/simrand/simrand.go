@@ -1,11 +1,3 @@
-// Package simrand provides deterministic, splittable random number
-// generation for the simulator.
-//
-// Every stochastic component in the repository draws from an explicit
-// *simrand.Rand so that a whole experiment is reproducible bit-for-bit from a
-// single root seed. Streams are derived by name (Derive) so that adding a new
-// consumer does not perturb the draws seen by existing consumers — a property
-// plain sequential seeding does not have.
 package simrand
 
 import (

@@ -1,24 +1,3 @@
-// Package telemetry is the structured observability layer of the LbChat
-// stack: typed events emitted from the protocol hot paths (chats, transfers,
-// coreset maintenance, training steps), aggregated into counters and
-// fixed-bucket histograms, and delivered to pluggable sinks (in-memory for
-// tests and summaries, JSONL for offline analysis, CSV for metric dumps).
-//
-// Design rules, in order of importance:
-//
-//  1. A nil sink costs ~zero: every emission site guards with a nil check
-//     before constructing the event, so a run with telemetry disabled is
-//     bit-identical to — and essentially as fast as — a run predating the
-//     telemetry layer.
-//  2. Events carry VIRTUAL time (engine seconds / tick indices), never wall
-//     clock, and are emitted in deterministic order (parallel phases buffer
-//     per-vehicle results and emit in vehicle-index order). The event stream
-//     of a run is therefore bit-identical at every worker count. Wall-clock
-//     measurements exist only as histogram aggregates behind the separate
-//     WallObserver interface, which the JSONL sink deliberately does not
-//     implement.
-//  3. Telemetry never consumes simulation randomness and never feeds values
-//     back into the simulation.
 package telemetry
 
 // Event is one structured telemetry record. Implementations are small value
@@ -45,6 +24,9 @@ const (
 	KindContactClose      = "contact_close"
 	KindTrainStep         = "train_step"
 	KindLossRecorded      = "loss_recorded"
+	KindFaultInjected     = "fault_injected"
+	KindChatResumed       = "chat_resumed"
+	KindPartialSalvage    = "partial_salvage"
 )
 
 // Payload labels for Transfer events.
@@ -212,6 +194,73 @@ type LossRecorded struct {
 	Loss float64 `json:"loss"`
 }
 
+// Fault labels for FaultInjected events (see internal/faults and DESIGN.md
+// §9 for the fault taxonomy). Like event kinds, they are a wire format and
+// append-only.
+const (
+	// FaultBurstLoss marks a transfer starting inside a burst packet-loss
+	// episode layered over the distance-loss table.
+	FaultBurstLoss = "burst_loss"
+	// FaultWindowTrunc marks a chat whose contact window was cut short.
+	FaultWindowTrunc = "window_trunc"
+	// FaultChurnDepart / FaultChurnRejoin bracket a vehicle leaving the
+	// communication system and coming back with its (now stale) model.
+	FaultChurnDepart = "churn_depart"
+	FaultChurnRejoin = "churn_rejoin"
+	// FaultPayloadCorrupt marks a coreset payload that completed on air but
+	// arrived with only a prefix of its frames intact.
+	FaultPayloadCorrupt = "payload_corrupt"
+)
+
+// NoPeer is the B value of FaultInjected events that concern a single
+// vehicle rather than a link (churn faults).
+const NoPeer = -1
+
+// FaultInjected records one injected fault from the internal/faults layer.
+type FaultInjected struct {
+	Time float64 `json:"time"`
+	// Fault is one of the Fault* labels.
+	Fault string `json:"fault"`
+	// A is the affected vehicle; B the peer for link-scoped faults
+	// (NoPeer for vehicle-scoped faults such as churn).
+	A int `json:"a"`
+	B int `json:"b"`
+	// Value is the fault-specific magnitude: the truncated window (s) for
+	// window_trunc, the absence duration (s) for churn_depart, the number
+	// of intact frames for payload_corrupt, the added packet-error rate
+	// for burst_loss, 0 otherwise.
+	Value float64 `json:"value,omitempty"`
+}
+
+// ChatResumed records a re-encountered pair resuming an interrupted
+// exchange session from the last completed payload instead of restarting.
+type ChatResumed struct {
+	Time float64 `json:"time"`
+	A    int     `json:"a"`
+	B    int     `json:"b"`
+	// SavedBytes is the over-the-air volume the resumption avoided
+	// re-sending (the completed coreset payloads of the broken session).
+	SavedBytes int `json:"saved_bytes"`
+	// Age is how long ago the interrupted session broke (s).
+	Age float64 `json:"age"`
+}
+
+// PartialSalvage records an incompletely received coreset being truncated
+// to its intact prefix and still used, with its weight discounted by the
+// delivered fraction (DESIGN.md §9 salvage rules).
+type PartialSalvage struct {
+	Time float64 `json:"time"`
+	// Vehicle is the receiver that salvaged the payload; From the sender.
+	Vehicle int `json:"vehicle"`
+	From    int `json:"from"`
+	// Frames of the sender's Total-frame coreset survived.
+	Frames int `json:"frames"`
+	Total  int `json:"total"`
+	// Discount is the weight multiplier applied to the salvaged samples
+	// (Frames/Total).
+	Discount float64 `json:"discount"`
+}
+
 // Kind implementations.
 func (RunStarted) Kind() string        { return KindRunStarted }
 func (RunFinished) Kind() string       { return KindRunFinished }
@@ -228,3 +277,6 @@ func (ContactOpen) Kind() string       { return KindContactOpen }
 func (ContactClose) Kind() string      { return KindContactClose }
 func (TrainStep) Kind() string         { return KindTrainStep }
 func (LossRecorded) Kind() string      { return KindLossRecorded }
+func (FaultInjected) Kind() string     { return KindFaultInjected }
+func (ChatResumed) Kind() string       { return KindChatResumed }
+func (PartialSalvage) Kind() string    { return KindPartialSalvage }

@@ -50,6 +50,9 @@ var decoders = map[string]func(json.RawMessage) (Event, error){
 	KindContactClose:      decode[ContactClose],
 	KindTrainStep:         decode[TrainStep],
 	KindLossRecorded:      decode[LossRecorded],
+	KindFaultInjected:     decode[FaultInjected],
+	KindChatResumed:       decode[ChatResumed],
+	KindPartialSalvage:    decode[PartialSalvage],
 }
 
 // Decode parses one JSONL line back into its typed event.

@@ -26,6 +26,9 @@ var allEventKinds = []Event{
 	ContactClose{Time: 60, A: 1, B: 2, Duration: 51},
 	TrainStep{Time: 14, Vehicle: 0, Steps: 1, Loss: 0.8},
 	LossRecorded{Time: 60, Loss: 0.44},
+	FaultInjected{Time: 15, Fault: FaultBurstLoss, A: 1, B: 2, Value: 0.4},
+	ChatResumed{Time: 70, A: 1, B: 2, SavedBytes: 120_000, Age: 33},
+	PartialSalvage{Time: 70, Vehicle: 1, From: 2, Frames: 3, Total: 30, Discount: 0.1},
 }
 
 func TestJSONLRoundTripEveryKind(t *testing.T) {

@@ -32,6 +32,12 @@ const (
 
 	MTrainSteps  = "train.steps"
 	MTrainWallNs = "train.wall_ns"
+
+	MFaultsInjected = "fault.injected"
+	MChatResumed    = "chat.resumed"
+	MResumeSavedB   = "chat.resume_saved_bytes"
+	MSalvages       = "salvage.count"
+	MSalvageFrames  = "salvage.frames"
 )
 
 // Fixed bucket edges for the Summary histograms. Fixed across runs so
@@ -120,6 +126,15 @@ func (s *Summary) Emit(ev Event) {
 		s.Reg.Inc(MTrainSteps, int64(e.Steps))
 	case LossRecorded:
 		s.FinalLoss = e.Loss
+	case FaultInjected:
+		s.Reg.Inc(MFaultsInjected, 1)
+		s.Reg.Inc("fault."+e.Fault, 1)
+	case ChatResumed:
+		s.Reg.Inc(MChatResumed, 1)
+		s.Reg.Inc(MResumeSavedB, int64(e.SavedBytes))
+	case PartialSalvage:
+		s.Reg.Inc(MSalvages, 1)
+		s.Reg.Inc(MSalvageFrames, int64(e.Frames))
 	}
 }
 

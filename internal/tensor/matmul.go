@@ -64,7 +64,7 @@ func MatMulInto(dst, a, b *Dense) {
 
 // matMulRows computes rows [lo, hi) of C = A·B.
 func matMulRows(cd, ad, bd []float64, lo, hi, k, n int) {
-	for i := lo*n; i < hi*n; i++ {
+	for i := lo * n; i < hi*n; i++ {
 		cd[i] = 0
 	}
 	// ikj loop order: streams through b and c rows sequentially.

@@ -1,7 +1,3 @@
-// Package tensor implements the dense float64 tensors underlying the neural
-// network substrate. It is intentionally small: shapes, elementwise
-// arithmetic, matrix multiplication, and the im2col transform needed for
-// convolution — everything the driving model requires and nothing more.
 package tensor
 
 import (

@@ -1,0 +1,8 @@
+// Package trace records and replays vehicle mobility: position snapshots at
+// a fixed frame rate, encounter detection within radio range, and
+// contact-duration estimation from shared future routes — the "assistive
+// information" of Eq. (5).
+//
+// The paper runs its CARLA world for 120 hours and records expert positions
+// at 2 fps; we generate traces the same way from internal/world.
+package trace

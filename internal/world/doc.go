@@ -1,0 +1,11 @@
+// Package world is the driving-world simulator substituting for CARLA: a
+// road-network map (town grid plus rural roads), expert autopilot vehicles
+// that follow planned routes, roaming background traffic and pedestrians,
+// collision detection, and frame collection into training samples.
+//
+// The learning and communication layers consume only what this package
+// produces — (BEV, command, waypoints) frames and vehicle positions over
+// time — so a kinematic 2D world preserves the causal structure the paper's
+// evaluation depends on: per-vehicle data distributions that differ by
+// region and command mix, and realistic encounter dynamics.
+package world
