@@ -1,0 +1,76 @@
+// Command bench-compare diffs two benchmark JSON files written by
+// cmd/bench-json and exits non-zero when a hot path regresses. Hot paths
+// are named with -hot as comma-separated substrings of benchmark names;
+// a hot benchmark fails the run when its ns/op grows by more than
+// -threshold percent over the baseline, or when it disappeared from the
+// candidate file. Everything else is reported for context but never fails,
+// so noisy cold benchmarks cannot block CI.
+//
+// Usage:
+//
+//	bench-compare -hot 'CandidatePairs,WorldTick' baseline.json candidate.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lbchat/internal/benchjson"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	hot := flag.String("hot", "", "comma-separated substrings naming hot-path benchmarks that must not regress")
+	threshold := flag.Float64("threshold", 15, "maximum allowed ns/op growth for hot paths, in percent")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: bench-compare [-hot a,b] [-threshold pct] <baseline.json> <candidate.json>")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		return fmt.Errorf("expected a baseline and a candidate file")
+	}
+
+	baseline, err := benchjson.Load(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	candidate, err := benchjson.Load(flag.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	var patterns []string
+	for _, p := range strings.Split(*hot, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			patterns = append(patterns, p)
+		}
+	}
+
+	deltas, regressions := benchjson.Compare(baseline, candidate, patterns, *threshold)
+	for _, d := range deltas {
+		mark := " "
+		if d.Hot {
+			mark = "*"
+		}
+		fmt.Printf("%s %-60s %12.0f -> %12.0f ns/op  %+7.1f%%\n", mark, d.Name, d.Old, d.New, d.Pct)
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
+		}
+		return fmt.Errorf("%d hot-path regression(s) beyond %+.1f%%", len(regressions), *threshold)
+	}
+	fmt.Printf("ok: %d benchmarks compared, no hot-path regression beyond %+.1f%% (hot: %s)\n",
+		len(deltas), *threshold, strings.Join(patterns, ", "))
+	return nil
+}

@@ -1,0 +1,59 @@
+// Command bench-json converts `go test -bench -benchmem` output on stdin
+// into a stable JSON document mapping each benchmark name to its ns/op,
+// B/op and allocs/op. make bench-json pipes the spatial hot-path
+// benchmarks through it to produce BENCH_PR4.json, the baseline that
+// cmd/bench-compare diffs candidate runs against in CI.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | bench-json -o BENCH.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lbchat/internal/benchjson"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "bench-json: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: go test -bench . -benchmem ./... | bench-json [-o file.json]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		return fmt.Errorf("unexpected arguments %v; benchmark output is read from stdin", flag.Args())
+	}
+
+	file, err := benchjson.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	if len(file) == 0 {
+		return fmt.Errorf("no benchmark results on stdin")
+	}
+	data, err := file.Marshal()
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench-json: wrote %d benchmarks to %s\n", len(file), *out)
+	return nil
+}

@@ -52,7 +52,7 @@ func (p *DFLDDS) OnTick(e *core.Engine, now float64) {
 	pairs := e.CandidatePairs(func(a, b int) float64 {
 		return 1 + 0.01*rng.Float64()
 	})
-	for _, pr := range core.GreedyMatch(pairs) {
+	for _, pr := range e.GreedyMatch(pairs) {
 		p.exchange(e, pr.A, pr.B)
 	}
 }

@@ -1,0 +1,152 @@
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds the standard metrics of one benchmark.
+type Result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// File maps benchmark names to their metrics. Names carry the full sub-
+// benchmark path (e.g. "BenchmarkCandidatePairs/N=256/index") with the
+// trailing -GOMAXPROCS suffix stripped.
+type File map[string]Result
+
+// trimProcSuffix drops the "-8"-style GOMAXPROCS suffix go test appends to
+// benchmark names, so files recorded on machines with different core
+// counts stay comparable.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// Parse reads `go test -bench -benchmem` output (possibly spanning several
+// packages) and extracts every benchmark line that reports ns/op. Custom
+// metrics from b.ReportMetric are skipped; a benchmark run twice keeps its
+// last result. Parse never fails on non-benchmark lines — headers, PASS/ok
+// trailers and build noise are ignored — but reports an unparsable metric
+// value on an otherwise well-formed benchmark line.
+func Parse(r io.Reader) (File, error) {
+	out := File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		var res Result
+		seenNs := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark %s: bad %s value %q", f[0], f[i+1], f[i])
+			}
+			switch f[i+1] {
+			case "ns/op":
+				res.NsOp = v
+				seenNs = true
+			case "B/op":
+				res.BOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			}
+		}
+		if seenNs {
+			out[trimProcSuffix(f[0])] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Load reads a JSON file previously written by Marshal (or cmd/bench-json).
+func Load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Marshal renders the file as indented JSON with a trailing newline. Go
+// sorts map keys during marshalling, so output is byte-stable for a given
+// set of results.
+func (f File) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Delta is the ns/op movement of one benchmark between two files.
+type Delta struct {
+	Name     string
+	Old, New float64 // ns/op
+	Pct      float64 // signed percent change; positive is slower
+	Hot      bool    // matched a hot-path pattern
+}
+
+// Compare diffs baseline against candidate. Hot patterns are matched as
+// substrings of the benchmark name; a hot benchmark counts as a regression
+// when its ns/op grows by more than limitPct percent, or when it exists in
+// the baseline but vanished from the candidate. Non-hot benchmarks are
+// reported but never fail the comparison. Deltas come back sorted by name.
+func Compare(baseline, candidate File, hot []string, limitPct float64) (deltas []Delta, regressions []string) {
+	isHot := func(name string) bool {
+		for _, h := range hot {
+			if h != "" && strings.Contains(name, h) {
+				return true
+			}
+		}
+		return false
+	}
+	for name, old := range baseline {
+		d := Delta{Name: name, Old: old.NsOp, Hot: isHot(name)}
+		cur, ok := candidate[name]
+		if !ok {
+			if d.Hot {
+				regressions = append(regressions, fmt.Sprintf("%s: missing from candidate", name))
+			}
+			continue
+		}
+		d.New = cur.NsOp
+		if old.NsOp > 0 {
+			d.Pct = (cur.NsOp - old.NsOp) / old.NsOp * 100
+		}
+		deltas = append(deltas, d)
+		if d.Hot && d.Pct > limitPct {
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (%+.1f%% > %+.1f%%)",
+				name, d.Old, d.New, d.Pct, limitPct))
+		}
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	sort.Strings(regressions)
+	return deltas, regressions
+}

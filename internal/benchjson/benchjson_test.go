@@ -1,0 +1,116 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: lbchat/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkCandidatePairs/N=256/index-8         	    6969	    160672 ns/op	      1384 pairs	  126952 B/op	      13 allocs/op
+BenchmarkCandidatePairs/N=256/brute-8         	    2646	    445509 ns/op	      1384 pairs	  126952 B/op	      13 allocs/op
+PASS
+ok  	lbchat/internal/core	3.587s
+pkg: lbchat/internal/world
+BenchmarkWorldTick/N=256/index-8      	     750	    531681 ns/op	   15832 B/op	      17 allocs/op
+BenchmarkNoMem-16	 1000000	      1042 ns/op
+PASS
+ok  	lbchat/internal/world	47.959s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := File{
+		"BenchmarkCandidatePairs/N=256/index": {NsOp: 160672, BOp: 126952, AllocsOp: 13},
+		"BenchmarkCandidatePairs/N=256/brute": {NsOp: 445509, BOp: 126952, AllocsOp: 13},
+		"BenchmarkWorldTick/N=256/index":      {NsOp: 531681, BOp: 15832, AllocsOp: 17},
+		"BenchmarkNoMem":                      {NsOp: 1042},
+	}
+	if len(f) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(f), len(want), f)
+	}
+	for name, res := range want {
+		if f[name] != res {
+			t.Errorf("%s = %+v, want %+v", name, f[name], res)
+		}
+	}
+}
+
+func TestParseBadValue(t *testing.T) {
+	if _, err := Parse(strings.NewReader("BenchmarkX-8 10 oops ns/op\n")); err == nil {
+		t.Fatal("Parse accepted an unparsable ns/op value")
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"BenchmarkFoo-8", "BenchmarkFoo"},
+		{"BenchmarkFoo-128", "BenchmarkFoo"},
+		{"BenchmarkFoo/N=16/index-4", "BenchmarkFoo/N=16/index"},
+		{"BenchmarkFoo", "BenchmarkFoo"},
+		{"BenchmarkFoo-bar", "BenchmarkFoo-bar"},
+		{"BenchmarkFoo-", "BenchmarkFoo-"},
+	}
+	for _, c := range cases {
+		if got := trimProcSuffix(c.in); got != c.want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := File{
+		"BenchmarkCandidatePairs/N=256/index": {NsOp: 100},
+		"BenchmarkWorldTick/N=256/index":      {NsOp: 200},
+		"BenchmarkBEV/N=256/index":            {NsOp: 50},
+		"BenchmarkGone/hot":                   {NsOp: 10},
+	}
+	candidate := File{
+		"BenchmarkCandidatePairs/N=256/index": {NsOp: 120}, // +20%: hot regression
+		"BenchmarkWorldTick/N=256/index":      {NsOp: 210}, // +5%: within limit
+		"BenchmarkBEV/N=256/index":            {NsOp: 500}, // +900% but not hot
+	}
+	hot := []string{"CandidatePairs", "WorldTick", "Gone"}
+	deltas, regressions := Compare(baseline, candidate, hot, 15)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3: %v", len(deltas), deltas)
+	}
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i-1].Name >= deltas[i].Name {
+			t.Fatalf("deltas not sorted by name: %v", deltas)
+		}
+	}
+	if len(regressions) != 2 {
+		t.Fatalf("got %d regressions, want 2 (hot slowdown + hot missing): %v", len(regressions), regressions)
+	}
+	for _, r := range regressions {
+		if !strings.Contains(r, "CandidatePairs") && !strings.Contains(r, "Gone") {
+			t.Errorf("unexpected regression entry: %s", r)
+		}
+	}
+
+	if _, regressions := Compare(baseline, candidate, nil, 15); len(regressions) != 0 {
+		t.Errorf("no hot patterns should mean no failures, got %v", regressions)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := File{"BenchmarkFoo": {NsOp: 1.5, BOp: 64, AllocsOp: 2}}
+	data, err := f.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var back File
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if back["BenchmarkFoo"] != f["BenchmarkFoo"] {
+		t.Fatalf("round trip: %+v != %+v", back["BenchmarkFoo"], f["BenchmarkFoo"])
+	}
+}

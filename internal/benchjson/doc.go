@@ -1,0 +1,10 @@
+// Package benchjson parses `go test -bench -benchmem` output into a stable
+// JSON document and diffs two such documents for performance regressions.
+//
+// The JSON form is a map from benchmark name (GOMAXPROCS suffix stripped,
+// so files compare across machines) to the three standard metrics ns/op,
+// B/op and allocs/op. cmd/bench-json produces these files; cmd/bench-compare
+// consumes a baseline and a candidate and fails when a named hot path slows
+// down past a threshold, which is how CI tracks the spatial-index fast
+// paths without blocking on benchmark noise elsewhere.
+package benchjson

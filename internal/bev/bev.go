@@ -1,6 +1,8 @@
 package bev
 
 import (
+	"math"
+
 	"lbchat/internal/geom"
 )
 
@@ -122,6 +124,26 @@ const (
 	vehicleMarkRadius    = 2.2
 	pedestrianMarkRadius = 0.9
 )
+
+// cullRadius returns the radius of the smallest ego-centered disc
+// containing every entity of the given footprint radius that Rasterize
+// could paint: the entity window spans local X ∈ [-r, Range+r) and
+// |Y| < halfWidth+r, and every point of that box lies within the box
+// corner's distance of the ego origin.
+func (c Config) cullRadius(entityRadius float64) float64 {
+	halfWidth := float64(c.Width) / 2 * c.CellSize()
+	return math.Hypot(c.Range+entityRadius, halfWidth+entityRadius)
+}
+
+// VehicleCullRadius returns the ego-centered radius outside which a vehicle
+// cannot mark any BEV cell. Callers use it to pre-cull entities through a
+// spatial index; Rasterize applies the exact per-entity window test either
+// way, so culling with any superset of this disc leaves the output
+// byte-identical.
+func (c Config) VehicleCullRadius() float64 { return c.cullRadius(vehicleMarkRadius) }
+
+// PedestrianCullRadius is VehicleCullRadius for pedestrian footprints.
+func (c Config) PedestrianCullRadius() float64 { return c.cullRadius(pedestrianMarkRadius) }
 
 // NormalizeWaypoint converts an ego-frame waypoint (meters) into the
 // normalized coordinates the model is trained on.

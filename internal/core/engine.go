@@ -4,18 +4,21 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"lbchat/internal/compress"
 	"lbchat/internal/coreset"
 	"lbchat/internal/dataset"
 	"lbchat/internal/faults"
+	"lbchat/internal/geom"
 	"lbchat/internal/metrics"
 	"lbchat/internal/model"
 	"lbchat/internal/parallel"
 	"lbchat/internal/radio"
 	"lbchat/internal/sched"
 	"lbchat/internal/simrand"
+	"lbchat/internal/spatial"
 	"lbchat/internal/telemetry"
 	"lbchat/internal/trace"
 )
@@ -107,6 +110,11 @@ type Config struct {
 	// injector is built, no extra randomness is drawn, and runs behave
 	// exactly as without the layer.
 	Faults faults.Config
+	// DisableSpatialIndex forces pair enumeration and contact scanning down
+	// the pre-index O(N²) loops (DESIGN.md §10). Results are bit-identical
+	// either way — the flag exists as the A/B reference for determinism
+	// tests and the brute-force benchmark baseline, not as a tuning knob.
+	DisableSpatialIndex bool
 	// Model configures the policy architecture.
 	Model model.Config
 }
@@ -250,6 +258,18 @@ type Engine struct {
 	// faults is the run's fault injector; nil when Cfg.Faults is the zero
 	// value, in which case every fault hook is a no-op.
 	faults *faults.Injector
+
+	// spatialIdx accelerates radio-range queries (candidate pairs, contact
+	// scans); its cell size is the radio range. The pts/pair/free/open
+	// slices are reused scratch for the per-tick rebuild and enumeration,
+	// and matchTaken is GreedyMatch's reusable vehicle-taken set. All of
+	// them are touched only from the serial section of a tick.
+	spatialIdx  *spatial.Index
+	spatialPts  []geom.Point
+	pairScratch []spatial.Pair
+	freeScratch []int
+	openScratch [][2]int
+	matchTaken  []bool
 }
 
 // stepOutcome is one vehicle's training work within one tick.
@@ -281,6 +301,7 @@ func NewEngine(cfg Config, tr *trace.Trace, datasets []*dataset.Dataset, rm *rad
 		rng:   root.Derive("engine"),
 		tel:   cfg.Telemetry,
 	}
+	e.spatialIdx = spatial.New(rm.Params.MaxRangeMeters)
 	if w, ok := e.tel.(telemetry.WallObserver); ok {
 		e.wall = w
 	}
@@ -375,26 +396,85 @@ func (e *Engine) Emit(ev telemetry.Event) {
 
 // scanContacts diffs the fleet's in-range pair set against the previous
 // tick and emits contact open/close events. It runs only with telemetry
-// enabled; pairs are visited in index order, so the event stream is
-// deterministic.
+// enabled. The fast path enumerates in-range pairs via the spatial index
+// and merges them with the sorted open-contact set; every pair produces at
+// most one event and both sequences are (a, b)-ascending, so the merged
+// event stream is byte-identical to the full O(N²) diff the brute-force
+// path (Cfg.DisableSpatialIndex) still performs.
 func (e *Engine) scanContacts() {
 	if e.tel == nil {
 		return
 	}
 	maxRange := e.Radio.Params.MaxRangeMeters
-	for a := 0; a < len(e.Vehicles); a++ {
-		for b := a + 1; b < len(e.Vehicles); b++ {
-			key := [2]int{a, b}
-			openedAt, open := e.contactOpen[key]
-			in := e.Trace.Distance(a, b, e.now) <= maxRange
-			switch {
-			case in && !open:
-				e.contactOpen[key] = e.now
-				e.tel.Emit(telemetry.ContactOpen{Time: e.now, A: a, B: b})
-			case !in && open:
-				delete(e.contactOpen, key)
-				e.tel.Emit(telemetry.ContactClose{Time: e.now, A: a, B: b, Duration: e.now - openedAt})
+	if e.Cfg.DisableSpatialIndex {
+		for a := 0; a < len(e.Vehicles); a++ {
+			for b := a + 1; b < len(e.Vehicles); b++ {
+				key := [2]int{a, b}
+				openedAt, open := e.contactOpen[key]
+				in := e.Trace.Distance(a, b, e.now) <= maxRange
+				switch {
+				case in && !open:
+					e.contactOpen[key] = e.now
+					e.tel.Emit(telemetry.ContactOpen{Time: e.now, A: a, B: b})
+				case !in && open:
+					delete(e.contactOpen, key)
+					e.tel.Emit(telemetry.ContactClose{Time: e.now, A: a, B: b, Duration: e.now - openedAt})
+				}
 			}
+		}
+		return
+	}
+	pts := e.spatialPts[:0]
+	for i := range e.Vehicles {
+		pts = append(pts, e.Trace.At(i, e.now))
+	}
+	e.spatialPts = pts
+	e.spatialIdx.Rebuild(pts)
+	inRange := e.spatialIdx.Pairs(e.pairScratch[:0], maxRange)
+	e.pairScratch = inRange
+	open := e.openScratch[:0]
+	for key := range e.contactOpen {
+		open = append(open, key)
+	}
+	e.openScratch = open
+	sort.Slice(open, func(i, j int) bool {
+		if open[i][0] != open[j][0] {
+			return open[i][0] < open[j][0]
+		}
+		return open[i][1] < open[j][1]
+	})
+	i, j := 0, 0
+	for i < len(inRange) || j < len(open) {
+		var cmp int
+		switch {
+		case i >= len(inRange):
+			cmp = 1
+		case j >= len(open):
+			cmp = -1
+		default:
+			in, op := inRange[i], open[j]
+			switch {
+			case in.A != op[0]:
+				cmp = in.A - op[0]
+			default:
+				cmp = in.B - op[1]
+			}
+		}
+		switch {
+		case cmp < 0: // newly in range
+			key := [2]int{inRange[i].A, inRange[i].B}
+			e.contactOpen[key] = e.now
+			e.tel.Emit(telemetry.ContactOpen{Time: e.now, A: key[0], B: key[1]})
+			i++
+		case cmp > 0: // left range
+			key := open[j]
+			openedAt := e.contactOpen[key]
+			delete(e.contactOpen, key)
+			e.tel.Emit(telemetry.ContactClose{Time: e.now, A: key[0], B: key[1], Duration: e.now - openedAt})
+			j++
+		default: // still in contact
+			i++
+			j++
 		}
 	}
 }

@@ -161,7 +161,7 @@ func (l *LbChat) OnTick(e *Engine, now float64) {
 		score = func(a, b int) float64 { return 1 + 0.01*rng.Float64() }
 	}
 	pairs := e.CandidatePairs(score)
-	for _, p := range GreedyMatch(pairs) {
+	for _, p := range e.GreedyMatch(pairs) {
 		l.chat(e, p.A, p.B)
 	}
 }

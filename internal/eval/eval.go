@@ -259,6 +259,9 @@ func (ev *Evaluator) RunTrialReport(policy Driver, cond Condition, route *world.
 			}
 		}
 	}
+	// Positions were teleported outside Step; drop any spatial index built
+	// over the pre-adjustment state.
+	w.InvalidateIndex()
 
 	// Budget: generous time at a conservative average speed.
 	timeLimit := route.Length()/2.5 + 60
@@ -268,7 +271,9 @@ func (ev *Evaluator) RunTrialReport(policy Driver, cond Condition, route *world.
 	for t := 0.0; t < timeLimit; t += ev.DT {
 		// Perceive.
 		frame := agent.Frame()
-		bevT := ras.Rasterize(frame, w.VehiclePositionsSeenBy(-1, agent), w.PedestrianPositions())
+		bevT := ras.Rasterize(frame,
+			w.VehiclePositionsNearSeenBy(frame.Origin, ev.BEV.VehicleCullRadius(), -1, agent),
+			w.PedestrianPositionsNear(frame.Origin, ev.BEV.PedestrianCullRadius()))
 		arc, lateral := routeProgress(route, agent.Pos)
 		lastArc = arc
 		cmd := route.CommandAt(arc)

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"lbchat/internal/core"
+	"lbchat/internal/telemetry"
+)
+
+// TestSpatialIndexABDeterminism is the PR's engine-level acceptance
+// criterion: a full LbChat run with the spatial index enabled must produce
+// a byte-identical telemetry event stream and bit-identical experiment
+// metrics (loss curve, receive stats, final parameters) to the pre-index
+// brute-force path, at workers=1 and workers=8.
+func TestSpatialIndexABDeterminism(t *testing.T) {
+	runWith := func(disable bool, workers int) (*ProtocolRun, [][]byte) {
+		mem := telemetry.NewMemorySink()
+		env := envWithSink(t, mem)
+		run, err := env.RunProtocol(ProtoLbChat, false, func(c *core.Config) {
+			c.DisableSpatialIndex = disable
+			c.Workers = workers
+		})
+		if err != nil {
+			t.Fatalf("disable=%v workers=%d: %v", disable, workers, err)
+		}
+		lines := make([][]byte, 0, mem.Len())
+		for _, ev := range mem.Events() {
+			line, err := telemetry.Encode(ev)
+			if err != nil {
+				t.Fatalf("encoding %s: %v", ev.Kind(), err)
+			}
+			lines = append(lines, line)
+		}
+		return run, lines
+	}
+
+	bruteRun, bruteStream := runWith(true, 1)
+	if len(bruteStream) == 0 {
+		t.Fatal("brute-force reference run emitted no events")
+	}
+	for _, workers := range []int{1, 4, 8} {
+		run, stream := runWith(false, workers)
+		if len(stream) != len(bruteStream) {
+			t.Fatalf("workers=%d: %d events, brute reference %d", workers, len(stream), len(bruteStream))
+		}
+		for i := range stream {
+			if !bytes.Equal(stream[i], bruteStream[i]) {
+				t.Fatalf("workers=%d: event %d differs:\nindex: %s\nbrute: %s", workers, i, stream[i], bruteStream[i])
+			}
+		}
+		sameRun(t, "spatial index vs brute force", run, bruteRun)
+	}
+}

@@ -1,0 +1,233 @@
+package spatial
+
+import (
+	"math"
+	"slices"
+
+	"lbchat/internal/geom"
+)
+
+// cellKey addresses one grid cell by its integer coordinates.
+type cellKey struct {
+	cx, cy int32
+}
+
+// Index is a uniform-grid spatial index over a set of 2D points. Points are
+// identified by their index in the slice passed to Rebuild; Update moves a
+// single point without a full rebuild, which is how the world keeps the
+// index exact while entities move one at a time inside a tick.
+//
+// The zero value is not usable; construct with New.
+type Index struct {
+	cell  float64
+	pts   []geom.Point
+	cells map[cellKey][]int32
+	keys  []cellKey // keys[i] is the cell currently holding point i
+
+	// Occupied cell extent, maintained so queries with huge radii clamp
+	// to the populated area instead of sweeping empty cells.
+	minCx, maxCx int32
+	minCy, maxCy int32
+
+	scratch []int32
+}
+
+// New creates an index with the given cell size in meters. The cell size
+// should be on the order of the dominant query radius: queries then visit
+// at most a 3×3 cell neighborhood. Non-positive or non-finite sizes fall
+// back to 1 m.
+func New(cellSize float64) *Index {
+	if !(cellSize > 0) || math.IsInf(cellSize, 1) {
+		cellSize = 1
+	}
+	return &Index{cell: cellSize, cells: make(map[cellKey][]int32)}
+}
+
+// CellSize returns the configured cell size in meters.
+func (ix *Index) CellSize() float64 { return ix.cell }
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return len(ix.pts) }
+
+// At returns indexed point i.
+func (ix *Index) At(i int) geom.Point { return ix.pts[i] }
+
+func (ix *Index) keyFor(p geom.Point) cellKey {
+	return cellKey{
+		cx: int32(math.Floor(p.X / ix.cell)),
+		cy: int32(math.Floor(p.Y / ix.cell)),
+	}
+}
+
+// Rebuild re-indexes the given points, copying them into the index (the
+// caller's slice is not retained). Buckets and the point copy are reused
+// across rebuilds, so a steady-state rebuild allocates nothing.
+func (ix *Index) Rebuild(pts []geom.Point) {
+	ix.pts = append(ix.pts[:0], pts...)
+	if cap(ix.keys) < len(pts) {
+		ix.keys = make([]cellKey, len(pts))
+	}
+	ix.keys = ix.keys[:len(pts)]
+	for k, bucket := range ix.cells {
+		ix.cells[k] = bucket[:0]
+	}
+	ix.minCx, ix.maxCx = math.MaxInt32, math.MinInt32
+	ix.minCy, ix.maxCy = math.MaxInt32, math.MinInt32
+	for i, p := range pts {
+		k := ix.keyFor(p)
+		ix.keys[i] = k
+		ix.cells[k] = append(ix.cells[k], int32(i))
+		ix.growExtent(k)
+	}
+}
+
+func (ix *Index) growExtent(k cellKey) {
+	if k.cx < ix.minCx {
+		ix.minCx = k.cx
+	}
+	if k.cx > ix.maxCx {
+		ix.maxCx = k.cx
+	}
+	if k.cy < ix.minCy {
+		ix.minCy = k.cy
+	}
+	if k.cy > ix.maxCy {
+		ix.maxCy = k.cy
+	}
+}
+
+// Update moves point i to p, relocating it across cells when needed. The
+// occupied extent only grows between rebuilds — queries stay correct, at
+// worst visiting a few extra empty cells until the next Rebuild.
+func (ix *Index) Update(i int, p geom.Point) {
+	ix.pts[i] = p
+	oldKey, newKey := ix.keys[i], ix.keyFor(p)
+	if oldKey == newKey {
+		return
+	}
+	bucket := ix.cells[oldKey]
+	for bi, id := range bucket {
+		if id == int32(i) {
+			bucket[bi] = bucket[len(bucket)-1]
+			ix.cells[oldKey] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	ix.keys[i] = newKey
+	ix.cells[newKey] = append(ix.cells[newKey], int32(i))
+	ix.growExtent(newKey)
+}
+
+// clampedCellRange returns the cell-coordinate range covering [lo, hi],
+// clamped to the occupied extent on the given axis.
+func clampedCellRange(lo, hi float64, cell float64, minC, maxC int32) (int32, int32) {
+	c0 := int32(math.Floor(lo / cell))
+	c1 := int32(math.Floor(hi / cell))
+	if c0 < minC {
+		c0 = minC
+	}
+	if c1 > maxC {
+		c1 = maxC
+	}
+	return c0, c1
+}
+
+// ForCandidates calls fn for every indexed point in the cells overlapping
+// the axis-aligned bounding box of the disc (p, r) — a superset of the
+// points within distance r of p. fn returning false stops the enumeration
+// early. Visit order is unspecified (it depends on update history), so fn
+// must compute an order-independent reduction — a min, an any, or an
+// idempotent mark. No exact distance check is applied; callers apply their
+// own predicate, which is what keeps index-backed queries bit-identical to
+// the brute-force scans they replace.
+func (ix *Index) ForCandidates(p geom.Point, r float64, fn func(i int, q geom.Point) bool) {
+	if len(ix.pts) == 0 || r < 0 {
+		return
+	}
+	cx0, cx1 := clampedCellRange(p.X-r, p.X+r, ix.cell, ix.minCx, ix.maxCx)
+	cy0, cy1 := clampedCellRange(p.Y-r, p.Y+r, ix.cell, ix.minCy, ix.maxCy)
+	for cy := cy0; cy <= cy1; cy++ {
+		for cx := cx0; cx <= cx1; cx++ {
+			for _, id := range ix.cells[cellKey{cx, cy}] {
+				if !fn(int(id), ix.pts[id]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// withinBall reports whether q lies in the closed ball (p, r), returning
+// exactly what the predicate `q.Dist(p) <= r` would. A squared-distance
+// screen decides candidates whose squared distance is more than a relative
+// margin away from r² — the margin (1e-12) is orders of magnitude above the
+// combined rounding error of the three-operation square (≈3 ulp) and
+// math.Hypot's documented 1-ulp bound, so the screen can never contradict
+// the exact predicate. Only borderline candidates pay for the Hypot call,
+// which keeps index-backed queries bit-identical to the brute-force scans
+// they replace at a fraction of the cost.
+func withinBall(p, q geom.Point, r, rr float64) bool {
+	dx, dy := q.X-p.X, q.Y-p.Y
+	sq := dx*dx + dy*dy
+	const margin = 1e-12
+	if sq > rr*(1+margin) {
+		return false
+	}
+	if sq < rr*(1-margin) {
+		return true
+	}
+	return q.Dist(p) <= r
+}
+
+// Neighbors returns the indices of all points within distance r of p
+// (closed ball, the same `Dist(p) <= r` comparison a brute-force scan
+// makes), in ascending index order. The returned slice is appended to dst,
+// which may be nil.
+func (ix *Index) Neighbors(dst []int, p geom.Point, r float64) []int {
+	start := len(dst)
+	rr := r * r
+	ix.ForCandidates(p, r, func(i int, q geom.Point) bool {
+		if withinBall(p, q, r, rr) {
+			dst = append(dst, i)
+		}
+		return true
+	})
+	slices.Sort(dst[start:])
+	return dst
+}
+
+// Pair is an unordered point pair with A < B.
+type Pair struct {
+	A, B int
+}
+
+// Pairs appends to dst every pair of indexed points within distance r of
+// each other (closed ball), in canonical ascending (A, B) order — exactly
+// the enumeration order of the classic `for a { for b > a }` brute-force
+// double loop, so replacing that loop with Pairs preserves downstream
+// iteration order bit for bit.
+func (ix *Index) Pairs(dst []Pair, r float64) []Pair {
+	if len(ix.pts) == 0 || r < 0 {
+		return dst
+	}
+	rr := r * r
+	for a, p := range ix.pts {
+		ix.scratch = ix.scratch[:0]
+		cx0, cx1 := clampedCellRange(p.X-r, p.X+r, ix.cell, ix.minCx, ix.maxCx)
+		cy0, cy1 := clampedCellRange(p.Y-r, p.Y+r, ix.cell, ix.minCy, ix.maxCy)
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				for _, id := range ix.cells[cellKey{cx, cy}] {
+					if int(id) > a && withinBall(p, ix.pts[id], r, rr) {
+						ix.scratch = append(ix.scratch, id)
+					}
+				}
+			}
+		}
+		slices.Sort(ix.scratch)
+		for _, b := range ix.scratch {
+			dst = append(dst, Pair{A: a, B: int(b)})
+		}
+	}
+	return dst
+}

@@ -43,7 +43,13 @@ func CollectFrame(w *World, v *Vehicle, ras *bev.Rasterizer, numWaypoints int) d
 		Heading: geom.WrapAngle(base.Heading + dh),
 	}
 
-	bevTensor := ras.Rasterize(frame, w.AllVehiclePositions(v.ID), w.PedestrianPositions())
+	// Cull entities to the ego window through the spatial index before
+	// rasterizing; Rasterize's exact per-entity window test makes the
+	// superset harmless, so the tensor is byte-identical to a full scan.
+	cfg := ras.Config()
+	bevTensor := ras.Rasterize(frame,
+		w.VehiclePositionsNearSeenBy(frame.Origin, cfg.VehicleCullRadius(), v.ID, nil),
+		w.PedestrianPositionsNear(frame.Origin, cfg.PedestrianCullRadius()))
 	speed := v.desiredSpeed(w)
 	targets := make([]float64, 0, 2*numWaypoints)
 	for i := 1; i <= numWaypoints; i++ {

@@ -6,6 +6,16 @@ import (
 
 	"lbchat/internal/geom"
 	"lbchat/internal/simrand"
+	"lbchat/internal/spatial"
+)
+
+// Spatial-index cell sizes (m), on the order of the dominant query radius
+// so a query touches at most a 3×3 cell neighborhood: the widest vehicle
+// query is the driving cone (followGap+10 ahead), the widest pedestrian
+// query the caution cone (pedSlowGap+6 ahead).
+const (
+	vehIndexCell = followGap + 10
+	pedIndexCell = pedSlowGap + 6
 )
 
 // FreeAgent is a vehicle not bound to a route polyline — the model-driven
@@ -32,6 +42,25 @@ type World struct {
 
 	// Time is the current simulation time in seconds.
 	Time float64
+
+	// DisableSpatialIndex forces every proximity query down the pre-index
+	// O(N) entity scans (DESIGN.md §10). Query results are identical either
+	// way — the flag is the A/B reference for determinism tests and the
+	// brute-force benchmark baseline.
+	DisableSpatialIndex bool
+
+	// vehIndex holds routed cars (Experts then Background, parallel to
+	// idxVehicles); pedIndex holds pedestrians. Both are rebuilt at the top
+	// of every Step and updated entity-by-entity as the step advances, so
+	// mid-step queries see exactly the mixed old/new positions the
+	// sequential brute-force scans saw. Free agents move outside Step and
+	// are deliberately NOT indexed: every query scans them linearly (there
+	// are at most a handful).
+	vehIndex    *spatial.Index
+	pedIndex    *spatial.Index
+	idxVehicles []*Vehicle
+	ptsScratch  []geom.Point
+	indexBuilt  bool
 }
 
 // SpawnConfig sets the population of a world.
@@ -86,16 +115,82 @@ func New(m *Map, spawn SpawnConfig, rng *simrand.Rand) (*World, error) {
 	return w, nil
 }
 
-// Step advances every entity by dt seconds.
-func (w *World) Step(dt float64) {
-	for _, v := range w.Experts {
-		v.Step(w, dt)
+// useIndex reports whether queries should go through the spatial indices.
+func (w *World) useIndex() bool { return !w.DisableSpatialIndex }
+
+// InvalidateIndex discards the spatial indices so the next query rebuilds
+// them. Call it after mutating entity positions outside Step (e.g. teleport
+// adjustments at spawn time); Step itself always rebuilds.
+func (w *World) InvalidateIndex() { w.indexBuilt = false }
+
+// ensureIndexes lazily (re)builds the indices before a query. Population
+// growth (entities appended since the last build) also triggers a rebuild.
+func (w *World) ensureIndexes() {
+	if w.indexBuilt &&
+		len(w.idxVehicles) == len(w.Experts)+len(w.Background) &&
+		w.pedIndex.Len() == len(w.Pedestrians) {
+		return
 	}
-	for _, v := range w.Background {
-		v.Step(w, dt)
+	w.rebuildIndexes()
+}
+
+// rebuildIndexes re-indexes every routed car and pedestrian at its current
+// position. Scratch slices are reused, so steady-state rebuilds allocate
+// nothing.
+func (w *World) rebuildIndexes() {
+	if w.vehIndex == nil {
+		w.vehIndex = spatial.New(vehIndexCell)
+		w.pedIndex = spatial.New(pedIndexCell)
 	}
+	w.idxVehicles = w.idxVehicles[:0]
+	w.idxVehicles = append(w.idxVehicles, w.Experts...)
+	w.idxVehicles = append(w.idxVehicles, w.Background...)
+	pts := w.ptsScratch[:0]
+	for _, v := range w.idxVehicles {
+		pts = append(pts, v.Pos())
+	}
+	w.vehIndex.Rebuild(pts)
+	pts = pts[:0]
 	for _, p := range w.Pedestrians {
-		p.Step(w, dt)
+		pts = append(pts, p.Pos)
+	}
+	w.pedIndex.Rebuild(pts)
+	w.ptsScratch = pts[:0]
+	w.indexBuilt = true
+}
+
+// Step advances every entity by dt seconds. With the spatial index enabled
+// the indices are rebuilt from the pre-step state and then updated entity by
+// entity as each one moves, so the in-step proximity queries (which run
+// while part of the fleet has moved and part has not) see exactly the same
+// mixed state as the sequential brute-force scans — trajectories are
+// bit-identical on both paths.
+func (w *World) Step(dt float64) {
+	if w.useIndex() {
+		w.rebuildIndexes()
+		for i, v := range w.Experts {
+			v.Step(w, dt)
+			w.vehIndex.Update(i, v.Pos())
+		}
+		off := len(w.Experts)
+		for i, v := range w.Background {
+			v.Step(w, dt)
+			w.vehIndex.Update(off+i, v.Pos())
+		}
+		for i, p := range w.Pedestrians {
+			p.Step(w, dt)
+			w.pedIndex.Update(i, p.Pos)
+		}
+	} else {
+		for _, v := range w.Experts {
+			v.Step(w, dt)
+		}
+		for _, v := range w.Background {
+			v.Step(w, dt)
+		}
+		for _, p := range w.Pedestrians {
+			p.Step(w, dt)
+		}
 	}
 	w.Time += dt
 }
@@ -129,12 +224,54 @@ func (w *World) VehiclePositionsSeenBy(excludeID int, excludeAgent *FreeAgent) [
 	return out
 }
 
+// VehiclePositionsNearSeenBy returns the positions of cars that may lie
+// within radius r of center — a SUPERSET of the cars actually inside the
+// disc (grid-cell granularity; free agents are always included). It is the
+// BEV culling fast path: callers apply their own exact window test per
+// entity, so a superset changes nothing. Exclusion semantics match
+// VehiclePositionsSeenBy.
+func (w *World) VehiclePositionsNearSeenBy(center geom.Point, r float64, excludeID int, excludeAgent *FreeAgent) []geom.Point {
+	if !w.useIndex() {
+		return w.VehiclePositionsSeenBy(excludeID, excludeAgent)
+	}
+	w.ensureIndexes()
+	out := make([]geom.Point, 0, 16)
+	w.vehIndex.ForCandidates(center, r, func(i int, p geom.Point) bool {
+		if w.idxVehicles[i].ID != excludeID {
+			out = append(out, p)
+		}
+		return true
+	})
+	for _, a := range w.FreeAgents {
+		if a != excludeAgent {
+			out = append(out, a.Pos)
+		}
+	}
+	return out
+}
+
 // PedestrianPositions returns all pedestrian positions.
 func (w *World) PedestrianPositions() []geom.Point {
 	out := make([]geom.Point, len(w.Pedestrians))
 	for i, p := range w.Pedestrians {
 		out[i] = p.Pos
 	}
+	return out
+}
+
+// PedestrianPositionsNear returns the positions of pedestrians that may lie
+// within radius r of center — a superset at grid-cell granularity, like
+// VehiclePositionsNearSeenBy.
+func (w *World) PedestrianPositionsNear(center geom.Point, r float64) []geom.Point {
+	if !w.useIndex() {
+		return w.PedestrianPositions()
+	}
+	w.ensureIndexes()
+	out := make([]geom.Point, 0, 16)
+	w.pedIndex.ForCandidates(center, r, func(_ int, p geom.Point) bool {
+		out = append(out, p)
+		return true
+	})
 	return out
 }
 
@@ -156,20 +293,33 @@ func aheadDistance(frame geom.Frame, p geom.Point, maxDist, corridor float64) fl
 // cone (excluding v itself).
 func (w *World) nearestVehicleAhead(v *Vehicle) float64 {
 	frame := v.Frame()
+	const maxDist, corridor = followGap + 10, 3.0
 	best := math.Inf(1)
 	consider := func(p geom.Point) {
-		if d := aheadDistance(frame, p, followGap+10, 3.0); d < best {
+		if d := aheadDistance(frame, p, maxDist, corridor); d < best {
 			best = d
 		}
 	}
-	for _, o := range w.Experts {
-		if o.ID != v.ID {
-			consider(o.Pos())
+	if w.useIndex() {
+		w.ensureIndexes()
+		// Everything in the cone lies within its circumradius of the ego.
+		bound := math.Hypot(maxDist, corridor)
+		w.vehIndex.ForCandidates(frame.Origin, bound, func(i int, p geom.Point) bool {
+			if w.idxVehicles[i].ID != v.ID {
+				consider(p)
+			}
+			return true
+		})
+	} else {
+		for _, o := range w.Experts {
+			if o.ID != v.ID {
+				consider(o.Pos())
+			}
 		}
-	}
-	for _, o := range w.Background {
-		if o.ID != v.ID {
-			consider(o.Pos())
+		for _, o := range w.Background {
+			if o.ID != v.ID {
+				consider(o.Pos())
+			}
 		}
 	}
 	for _, a := range w.FreeAgents {
@@ -182,9 +332,21 @@ func (w *World) nearestVehicleAhead(v *Vehicle) float64 {
 // caution cone.
 func (w *World) nearestPedestrianAhead(v *Vehicle) float64 {
 	frame := v.Frame()
+	const maxDist, corridor = pedSlowGap + 6, 2.5
 	best := math.Inf(1)
+	if w.useIndex() {
+		w.ensureIndexes()
+		bound := math.Hypot(maxDist, corridor)
+		w.pedIndex.ForCandidates(frame.Origin, bound, func(_ int, p geom.Point) bool {
+			if d := aheadDistance(frame, p, maxDist, corridor); d < best {
+				best = d
+			}
+			return true
+		})
+		return best
+	}
 	for _, p := range w.Pedestrians {
-		if d := aheadDistance(frame, p.Pos, pedSlowGap+6, 2.5); d < best {
+		if d := aheadDistance(frame, p.Pos, maxDist, corridor); d < best {
 			best = d
 		}
 	}
@@ -202,14 +364,29 @@ func (w *World) intersectionOccupied(v *Vehicle, node geom.Point) bool {
 		}
 		return frame.ToLocal(p).X > 2
 	}
-	for _, o := range w.Experts {
-		if o.ID != v.ID && occupied(o.Pos()) {
+	if w.useIndex() {
+		w.ensureIndexes()
+		found := false
+		w.vehIndex.ForCandidates(node, intersectionR, func(i int, p geom.Point) bool {
+			if w.idxVehicles[i].ID != v.ID && occupied(p) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
 			return true
 		}
-	}
-	for _, o := range w.Background {
-		if o.ID != v.ID && occupied(o.Pos()) {
-			return true
+	} else {
+		for _, o := range w.Experts {
+			if o.ID != v.ID && occupied(o.Pos()) {
+				return true
+			}
+		}
+		for _, o := range w.Background {
+			if o.ID != v.ID && occupied(o.Pos()) {
+				return true
+			}
 		}
 	}
 	for _, a := range w.FreeAgents {
@@ -223,14 +400,29 @@ func (w *World) intersectionOccupied(v *Vehicle, node geom.Point) bool {
 // anyCarNear reports whether any car (expert, background, or free agent)
 // is within r of pos and moving.
 func (w *World) anyCarNear(pos geom.Point, r float64) bool {
-	for _, v := range w.Experts {
-		if v.V > 0.5 && pos.Dist(v.Pos()) < r {
+	if w.useIndex() {
+		w.ensureIndexes()
+		found := false
+		w.vehIndex.ForCandidates(pos, r, func(i int, p geom.Point) bool {
+			if w.idxVehicles[i].V > 0.5 && pos.Dist(p) < r {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
 			return true
 		}
-	}
-	for _, v := range w.Background {
-		if v.V > 0.5 && pos.Dist(v.Pos()) < r {
-			return true
+	} else {
+		for _, v := range w.Experts {
+			if v.V > 0.5 && pos.Dist(v.Pos()) < r {
+				return true
+			}
+		}
+		for _, v := range w.Background {
+			if v.V > 0.5 && pos.Dist(v.Pos()) < r {
+				return true
+			}
 		}
 	}
 	for _, a := range w.FreeAgents {
@@ -246,18 +438,42 @@ func (w *World) anyCarNear(pos geom.Point, r float64) bool {
 // expert/background car from the check (the agent itself when it is a
 // routed vehicle; pass -1 for free agents).
 func (w *World) CollisionAt(pos geom.Point, excludeID int) bool {
+	const carGap = 2 * vehicleRadius
+	const pedGap = vehicleRadius + pedRadius
+	if w.useIndex() {
+		w.ensureIndexes()
+		hit := false
+		w.vehIndex.ForCandidates(pos, carGap, func(i int, p geom.Point) bool {
+			if w.idxVehicles[i].ID != excludeID && pos.Dist(p) < carGap {
+				hit = true
+				return false
+			}
+			return true
+		})
+		if hit {
+			return true
+		}
+		w.pedIndex.ForCandidates(pos, pedGap, func(_ int, p geom.Point) bool {
+			if pos.Dist(p) < pedGap {
+				hit = true
+				return false
+			}
+			return true
+		})
+		return hit
+	}
 	for _, v := range w.Experts {
-		if v.ID != excludeID && pos.Dist(v.Pos()) < 2*vehicleRadius {
+		if v.ID != excludeID && pos.Dist(v.Pos()) < carGap {
 			return true
 		}
 	}
 	for _, v := range w.Background {
-		if v.ID != excludeID && pos.Dist(v.Pos()) < 2*vehicleRadius {
+		if v.ID != excludeID && pos.Dist(v.Pos()) < carGap {
 			return true
 		}
 	}
 	for _, p := range w.Pedestrians {
-		if pos.Dist(p.Pos) < vehicleRadius+pedRadius {
+		if pos.Dist(p.Pos) < pedGap {
 			return true
 		}
 	}
