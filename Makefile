@@ -3,14 +3,22 @@ GO ?= go
 # staticcheck is pinned so lint results are reproducible; bump deliberately.
 STATICCHECK_VERSION ?= 2025.1
 
-# Hot-path benchmark tracking: make bench-json records the spatial-index
-# fast paths (and their brute-force baselines) into $(BENCH_JSON);
+# Hot-path benchmark tracking: make bench-json records the spatial/shard
+# scan fast paths, the coreset maintenance hot loops, and their baselines
+# into $(BENCH_JSON), and appends the same results as one labelled JSONL
+# line to $(BENCH_HISTORY) so trends survive across runs;
 # cmd/bench-compare diffs a candidate file against the committed
-# BENCH_PR4.json and fails on >15% ns/op regressions for the hot paths.
-BENCH_JSON ?= BENCH_PR4.json
-BENCH_FILTER := BenchmarkCandidatePairs|BenchmarkWorldTick|BenchmarkBEV
+# $(BENCH_BASELINE) and fails on >15% ns/op regressions for the hot paths,
+# then prints the per-benchmark trend across the history file.
+BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_JSON ?= $(BENCH_BASELINE)
+BENCH_HISTORY ?= BENCH_HISTORY.jsonl
+BENCH_LABEL ?= local
+BENCH_FILTER := BenchmarkCandidatePairs|BenchmarkWorldTick|BenchmarkBEV|BenchmarkShardScan|BenchmarkEnsureCoreset|BenchmarkAbsorbCoreset
+BENCH_HOT := CandidatePairs,WorldTick,ShardScan,EnsureCoreset,AbsorbCoreset
+BENCH_PKGS := ./internal/core/ ./internal/world/ ./internal/shard/
 
-.PHONY: build vet lint test race bench bench-json bench-compare telemetry-smoke doccheck ci
+.PHONY: build vet lint test race bench bench-json bench-compare bench-pprof scale-smoke telemetry-smoke doccheck ci
 
 build:
 	$(GO) build ./...
@@ -45,10 +53,27 @@ bench:
 
 bench-json:
 	$(GO) test -run '^$$' -bench '$(BENCH_FILTER)' -benchmem \
-		./internal/core/ ./internal/world/ | $(GO) run ./cmd/bench-json -o $(BENCH_JSON)
+		$(BENCH_PKGS) | $(GO) run ./cmd/bench-json -o $(BENCH_JSON) \
+		-append-history $(BENCH_HISTORY) -label $(BENCH_LABEL)
 
 bench-compare:
-	$(GO) run ./cmd/bench-compare -hot 'CandidatePairs,WorldTick' BENCH_PR4.json $(BENCH_JSON)
+	$(GO) run ./cmd/bench-compare -hot '$(BENCH_HOT)' -history $(BENCH_HISTORY) \
+		$(BENCH_BASELINE) $(BENCH_JSON)
+
+# CPU profiles of the scan hot paths, for flame-graph inspection and CI
+# artifacts. Profiles land in bench-profiles/ next to their test binaries
+# (go test needs -o when profiling, so the binary is kept alongside).
+bench-pprof:
+	mkdir -p bench-profiles
+	$(GO) test -run '^$$' -bench 'BenchmarkShardScan' -benchmem \
+		-cpuprofile bench-profiles/shard.cpu.pprof -o bench-profiles/shard.test ./internal/shard/
+	$(GO) test -run '^$$' -bench 'BenchmarkCandidatePairs' -benchmem \
+		-cpuprofile bench-profiles/core.cpu.pprof -o bench-profiles/core.test ./internal/core/
+
+# A 2048-vehicle sharded scan under the race detector: exercises the
+# halo-exchange and per-shard scratch paths at scale without datasets.
+scale-smoke:
+	$(GO) run -race ./cmd/lbchat-bench -exp fleetscan -vehicles 2048 -duration 10 -shards 4
 
 # End-to-end check of the telemetry pipeline: a tiny sim writes its event
 # stream as JSONL, and telemetry-lint fails unless the file is non-empty

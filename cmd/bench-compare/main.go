@@ -6,9 +6,14 @@
 // candidate file. Everything else is reported for context but never fails,
 // so noisy cold benchmarks cannot block CI.
 //
+// With -history the trend of every hot-path benchmark across the JSONL
+// history file (written by bench-json -append-history) is printed after
+// the pairwise diff, so a slow drift that stays under the per-run
+// threshold is still visible.
+//
 // Usage:
 //
-//	bench-compare -hot 'CandidatePairs,WorldTick' baseline.json candidate.json
+//	bench-compare -hot 'CandidatePairs,WorldTick' -history BENCH_HISTORY.jsonl baseline.json candidate.json
 package main
 
 import (
@@ -30,8 +35,9 @@ func main() {
 func run() error {
 	hot := flag.String("hot", "", "comma-separated substrings naming hot-path benchmarks that must not regress")
 	threshold := flag.Float64("threshold", 15, "maximum allowed ns/op growth for hot paths, in percent")
+	historyPath := flag.String("history", "", "JSONL history file; prints hot-path ns/op trends across its entries")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: bench-compare [-hot a,b] [-threshold pct] <baseline.json> <candidate.json>")
+		fmt.Fprintln(os.Stderr, "usage: bench-compare [-hot a,b] [-threshold pct] [-history hist.jsonl] <baseline.json> <candidate.json>")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -64,6 +70,11 @@ func run() error {
 		}
 		fmt.Printf("%s %-60s %12.0f -> %12.0f ns/op  %+7.1f%%\n", mark, d.Name, d.Old, d.New, d.Pct)
 	}
+	if *historyPath != "" {
+		if err := printTrends(*historyPath, patterns); err != nil {
+			return err
+		}
+	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", r)
@@ -72,5 +83,46 @@ func run() error {
 	}
 	fmt.Printf("ok: %d benchmarks compared, no hot-path regression beyond %+.1f%% (hot: %s)\n",
 		len(deltas), *threshold, strings.Join(patterns, ", "))
+	return nil
+}
+
+// printTrends renders each hot benchmark's ns/op series across the history
+// file, oldest entry first, with the cumulative drift from the first to the
+// last entry that recorded it. The trend is advisory: it never fails the
+// run, it exists to make slow drift visible before it trips the threshold.
+func printTrends(path string, patterns []string) error {
+	entries, err := benchjson.LoadHistory(path)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		fmt.Printf("\nhistory %s: no entries yet\n", path)
+		return nil
+	}
+	labels := make([]string, len(entries))
+	for i, e := range entries {
+		labels[i] = e.Label
+	}
+	fmt.Printf("\nhot-path trend across %d history entries (%s):\n", len(entries), strings.Join(labels, " -> "))
+	for _, row := range benchjson.Trend(entries, patterns) {
+		var cells []string
+		first, last := -1.0, -1.0
+		for i, ok := range row.Present {
+			if !ok {
+				cells = append(cells, "-")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%.0f", row.Vals[i]))
+			if first < 0 {
+				first = row.Vals[i]
+			}
+			last = row.Vals[i]
+		}
+		drift := ""
+		if first > 0 && last >= 0 {
+			drift = fmt.Sprintf("  (%+.1f%%)", (last-first)/first*100)
+		}
+		fmt.Printf("  %-60s %s ns/op%s\n", row.Name, strings.Join(cells, " -> "), drift)
+	}
 	return nil
 }

@@ -1,12 +1,18 @@
 // Command bench-json converts `go test -bench -benchmem` output on stdin
 // into a stable JSON document mapping each benchmark name to its ns/op,
-// B/op and allocs/op. make bench-json pipes the spatial hot-path
-// benchmarks through it to produce BENCH_PR4.json, the baseline that
-// cmd/bench-compare diffs candidate runs against in CI.
+// B/op and allocs/op. make bench-json pipes the hot-path benchmarks
+// through it to produce the committed baseline that cmd/bench-compare
+// diffs candidate runs against in CI.
+//
+// With -append-history the same result set is also appended as one JSONL
+// line to a persistent history file (BENCH_HISTORY.jsonl in this repo),
+// labelled by -label, so bench-compare -history can report ns/op trends
+// across runs instead of only one pairwise diff.
 //
 // Usage:
 //
-//	go test -bench . -benchmem ./... | bench-json -o BENCH.json
+//	go test -bench . -benchmem ./... | bench-json -o BENCH.json \
+//	    -append-history BENCH_HISTORY.jsonl -label pr6
 package main
 
 import (
@@ -26,8 +32,10 @@ func main() {
 
 func run() error {
 	out := flag.String("o", "", "output file (default stdout)")
+	history := flag.String("append-history", "", "also append the results as one JSONL line to this history file")
+	label := flag.String("label", "local", "run label recorded in the history entry")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: go test -bench . -benchmem ./... | bench-json [-o file.json]")
+		fmt.Fprintln(os.Stderr, "usage: go test -bench . -benchmem ./... | bench-json [-o file.json] [-append-history hist.jsonl -label run]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,12 +56,20 @@ func run() error {
 		return err
 	}
 	if *out == "" {
-		_, err = os.Stdout.Write(data)
-		return err
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "bench-json: wrote %d benchmarks to %s\n", len(file), *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		return err
+	if *history != "" {
+		if err := benchjson.AppendHistory(*history, *label, file); err != nil {
+			return fmt.Errorf("appending history: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "bench-json: appended entry %q to %s\n", *label, *history)
 	}
-	fmt.Fprintf(os.Stderr, "bench-json: wrote %d benchmarks to %s\n", len(file), *out)
 	return nil
 }

@@ -47,8 +47,10 @@ func main() {
 var errCanceled = fmt.Errorf("canceled: partial results above")
 
 func run() error {
-	expFlag := flag.String("exp", "all", "comma-separated experiments: fig2a,fig2b,recvrate,tab2,tab3,tab4,tab5,tab6,tab7,fig3,all; extensions: routeshare,methods,adaptive,hetero,quant,faultsweep")
+	expFlag := flag.String("exp", "all", "comma-separated experiments: fig2a,fig2b,recvrate,tab2,tab3,tab4,tab5,tab6,tab7,fig3,all; extensions: routeshare,methods,adaptive,hetero,quant,faultsweep; scale workload: fleetscan")
 	speedupFlag := flag.Bool("speedup", false, "measure the -workers speedup vs the serial baseline on one LbChat run, then exit")
+	vehiclesFlag := flag.Int("vehicles", 0, "fleet size for -exp fleetscan (0 = 2048)")
+	durationFlag := flag.Float64("duration", 0, "virtual seconds for -exp fleetscan (0 = 60)")
 	common := cli.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -73,6 +75,19 @@ func run() error {
 	}
 	all := want["all"]
 	selected := func(name string) bool { return all || want[name] }
+
+	// The fleetscan scale workload runs before (and without) the environment
+	// build: a 10k-vehicle synthetic fleet needs no datasets or eval suite,
+	// and building them at that size would dwarf the measurement.
+	if want["fleetscan"] {
+		delete(want, "fleetscan")
+		if err := timedFleetScan(ctx, *vehiclesFlag, *durationFlag, common); err != nil {
+			return err
+		}
+		if len(want) == 0 {
+			return common.CloseSink(sink)
+		}
+	}
 
 	fmt.Printf("Building environment (scale=%s: %d vehicles, %d frames/vehicle, %.0fs training, workers=%s)...\n",
 		scale.Name, scale.Vehicles, scale.CollectTicks, scale.TrainDuration, cli.WorkersLabel(common.Workers))
@@ -276,6 +291,31 @@ func run() error {
 		}
 	}
 	return common.CloseSink(sink)
+}
+
+// timedFleetScan runs the fleetscan scale workload at the flagged size and
+// prints its wall-clock/peak-heap table.
+func timedFleetScan(ctx context.Context, vehicles int, duration float64, common *cli.Common) error {
+	fmt.Printf("\n=== Fleet scan scale workload (shards=%d, workers=%s) ===\n",
+		common.Shards, cli.WorkersLabel(common.Workers))
+	start := time.Now()
+	res, err := experiments.Run(ctx, experiments.Spec{
+		Experiment: experiments.ExpFleetScan,
+		Vehicles:   vehicles,
+		Duration:   duration,
+		Workers:    common.Workers,
+		Shards:     common.Shards,
+		Seed:       common.Seed,
+	})
+	if err != nil {
+		return fmt.Errorf("fleetscan: %w", err)
+	}
+	fmt.Print(res.Table.Render())
+	fmt.Printf("-- fleetscan finished in %s\n", time.Since(start).Round(time.Millisecond))
+	if res.Canceled {
+		return errCanceled
+	}
+	return nil
 }
 
 // measureSpeedup trains one LbChat fleet serially and again at the

@@ -160,15 +160,15 @@ func (p *RSUL) visit(e *core.Engine, v *core.Vehicle, rsu int) {
 // contactWindow estimates how long the vehicle remains within radio range
 // of the RSU, capped at 120 s.
 func (p *RSUL) contactWindow(e *core.Engine, vid int, rsuPos geom.Point) float64 {
-	const cap = 120.0
+	const window = 120.0
 	now := e.Now()
 	maxRange := e.Radio.Params.MaxRangeMeters
-	for dt := 0.0; dt < cap; dt += 2 {
+	for dt := 0.0; dt < window; dt += 2 {
 		if e.Trace.At(vid, now+dt).Dist(rsuPos) > maxRange {
 			return dt
 		}
 	}
-	return cap
+	return window
 }
 
 // backboneSync averages all RSU models over the free backend.

@@ -1,0 +1,124 @@
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// HistoryEntry is one recorded benchmark run in a JSONL history file. The
+// label identifies the run (a PR tag, commit, or "local"); Benchmarks holds
+// the full result set of that run.
+type HistoryEntry struct {
+	Label      string `json:"label"`
+	Benchmarks File   `json:"benchmarks"`
+}
+
+// LoadHistory reads a JSONL history file, one HistoryEntry per line, in
+// recorded order. A missing file is an empty history, not an error, so the
+// first append needs no bootstrap step.
+func LoadHistory(path string) ([]HistoryEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+
+	var entries []HistoryEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var e HistoryEntry
+		if err := json.Unmarshal([]byte(text), &e); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// AppendHistory appends one run to the JSONL history file, creating it if
+// needed. Each entry is a single compact JSON line so the file diffs and
+// concatenates cleanly across CI artifact merges.
+func AppendHistory(path, label string, results File) error {
+	data, err := json.Marshal(HistoryEntry{Label: label, Benchmarks: results})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// TrendRow is the ns/op trajectory of one benchmark across history entries.
+// Vals is parallel to the entry list handed to Trend; entries missing the
+// benchmark hold NaN-free zero values with Present false at that index.
+type TrendRow struct {
+	Name    string
+	Vals    []float64
+	Present []bool
+}
+
+// Trend extracts the per-entry ns/op series of every benchmark whose name
+// contains one of the patterns (all benchmarks when patterns is empty),
+// sorted by name. Use it to render "is this hot path drifting?" reports
+// from a history file.
+func Trend(entries []HistoryEntry, patterns []string) []TrendRow {
+	match := func(name string) bool {
+		if len(patterns) == 0 {
+			return true
+		}
+		for _, p := range patterns {
+			if p != "" && strings.Contains(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	names := map[string]bool{}
+	for _, e := range entries {
+		for name := range e.Benchmarks {
+			if match(name) {
+				names[name] = true
+			}
+		}
+	}
+	rows := make([]TrendRow, 0, len(names))
+	for name := range names {
+		row := TrendRow{
+			Name:    name,
+			Vals:    make([]float64, len(entries)),
+			Present: make([]bool, len(entries)),
+		}
+		for i, e := range entries {
+			if res, ok := e.Benchmarks[name]; ok {
+				row.Vals[i] = res.NsOp
+				row.Present[i] = true
+			}
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows
+}

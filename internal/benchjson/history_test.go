@@ -1,0 +1,106 @@
+package benchjson
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHistoryAppendLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+
+	if entries, err := LoadHistory(path); err != nil || entries != nil {
+		t.Fatalf("missing file should load as empty history, got %v, %v", entries, err)
+	}
+
+	runs := []HistoryEntry{
+		{Label: "pr4", Benchmarks: File{"BenchmarkA": {NsOp: 100, BOp: 8, AllocsOp: 1}}},
+		{Label: "pr6", Benchmarks: File{"BenchmarkA": {NsOp: 90}, "BenchmarkB": {NsOp: 5}}},
+	}
+	for _, r := range runs {
+		if err := AppendHistory(path, r.Label, r.Benchmarks); err != nil {
+			t.Fatalf("AppendHistory(%s): %v", r.Label, err)
+		}
+	}
+
+	entries, err := LoadHistory(path)
+	if err != nil {
+		t.Fatalf("LoadHistory: %v", err)
+	}
+	if len(entries) != len(runs) {
+		t.Fatalf("loaded %d entries, want %d", len(entries), len(runs))
+	}
+	for i, e := range entries {
+		if e.Label != runs[i].Label {
+			t.Errorf("entry %d label = %q, want %q", i, e.Label, runs[i].Label)
+		}
+		if len(e.Benchmarks) != len(runs[i].Benchmarks) {
+			t.Errorf("entry %d has %d benchmarks, want %d", i, len(e.Benchmarks), len(runs[i].Benchmarks))
+		}
+		for name, want := range runs[i].Benchmarks {
+			if e.Benchmarks[name] != want {
+				t.Errorf("entry %d %s = %+v, want %+v", i, name, e.Benchmarks[name], want)
+			}
+		}
+	}
+}
+
+func TestHistoryToleratesBlankLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	content := `{"label":"a","benchmarks":{"BenchmarkX":{"ns_op":1,"b_op":0,"allocs_op":0}}}
+
+{"label":"b","benchmarks":{}}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := LoadHistory(path)
+	if err != nil {
+		t.Fatalf("LoadHistory: %v", err)
+	}
+	if len(entries) != 2 || entries[0].Label != "a" || entries[1].Label != "b" {
+		t.Fatalf("unexpected entries: %+v", entries)
+	}
+}
+
+func TestHistoryRejectsCorruptLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.jsonl")
+	if err := os.WriteFile(path, []byte("{\"label\":\"a\",\"benchmarks\":{}}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadHistory(path); err == nil {
+		t.Fatal("LoadHistory accepted a corrupt line")
+	}
+}
+
+func TestTrend(t *testing.T) {
+	entries := []HistoryEntry{
+		{Label: "r1", Benchmarks: File{
+			"BenchmarkHot/N=16": {NsOp: 100},
+			"BenchmarkCold":     {NsOp: 7},
+		}},
+		{Label: "r2", Benchmarks: File{
+			"BenchmarkHot/N=16": {NsOp: 80},
+			"BenchmarkHot/N=64": {NsOp: 400},
+		}},
+	}
+
+	rows := Trend(entries, []string{"Hot"})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2: %+v", len(rows), rows)
+	}
+	if rows[0].Name != "BenchmarkHot/N=16" || rows[1].Name != "BenchmarkHot/N=64" {
+		t.Fatalf("rows not sorted by name: %+v", rows)
+	}
+	if rows[0].Vals[0] != 100 || rows[0].Vals[1] != 80 || !rows[0].Present[0] || !rows[0].Present[1] {
+		t.Errorf("N=16 series wrong: %+v", rows[0])
+	}
+	if rows[1].Present[0] || !rows[1].Present[1] || rows[1].Vals[1] != 400 {
+		t.Errorf("N=64 should be absent in r1, 400 in r2: %+v", rows[1])
+	}
+
+	all := Trend(entries, nil)
+	if len(all) != 3 {
+		t.Fatalf("empty patterns should match all benchmarks, got %d rows", len(all))
+	}
+}

@@ -29,8 +29,8 @@ func (e *Engine) EnsureCoreset(v *Vehicle) (*coreset.Coreset, error) {
 		size = v.CoresetSizeOverride
 	}
 	base := v.Data
-	if cap := e.Cfg.LayeringSample; cap > 0 && base.Len() > cap {
-		perm := v.rng.Perm(base.Len())[:cap]
+	if limit := e.Cfg.LayeringSample; limit > 0 && base.Len() > limit {
+		perm := v.rng.Perm(base.Len())[:limit]
 		base = v.Data.Subset(perm)
 	}
 	losses := v.Policy.PerSampleLosses(base.Items())
@@ -89,12 +89,12 @@ func (e *Engine) AbsorbCoreset(v *Vehicle, peer *coreset.Coreset) error {
 // uniformly without replacement with the vehicle's stream. Value assessments
 // run on this subset to bound computation per chat.
 func (e *Engine) EvalSubset(v *Vehicle, items []dataset.Weighted) []dataset.Weighted {
-	cap := e.Cfg.EvalSubset
-	if cap <= 0 || len(items) <= cap {
+	limit := e.Cfg.EvalSubset
+	if limit <= 0 || len(items) <= limit {
 		return items
 	}
-	perm := v.rng.Perm(len(items))[:cap]
-	out := make([]dataset.Weighted, cap)
+	perm := v.rng.Perm(len(items))[:limit]
+	out := make([]dataset.Weighted, limit)
 	for i, idx := range perm {
 		out[i] = items[idx]
 	}

@@ -17,6 +17,7 @@ import (
 	"lbchat/internal/parallel"
 	"lbchat/internal/radio"
 	"lbchat/internal/sched"
+	"lbchat/internal/shard"
 	"lbchat/internal/simrand"
 	"lbchat/internal/spatial"
 	"lbchat/internal/telemetry"
@@ -114,7 +115,15 @@ type Config struct {
 	// the pre-index O(N²) loops (DESIGN.md §10). Results are bit-identical
 	// either way — the flag exists as the A/B reference for determinism
 	// tests and the brute-force benchmark baseline, not as a tuning knob.
+	// It takes precedence over Shards.
 	DisableSpatialIndex bool
+	// Shards partitions encounter scans into grid regions (internal/shard,
+	// DESIGN.md §11): each region enumerates its radio-range pairs locally
+	// (with halo copies of border vehicles) on the parallel pool, and the
+	// per-region outputs merge back into the canonical (A, B) order. 0 or 1
+	// keeps today's single-index path; any value produces bit-identical
+	// results — sharding changes only how the scan is scheduled.
+	Shards int
 	// Model configures the policy architecture.
 	Model model.Config
 }
@@ -166,6 +175,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: invalid bandwidth range [%g, %g]", c.BandwidthMinBps, c.BandwidthMaxBps)
 	case c.PaperModelBytes <= 0 || c.PaperFrameBytes <= 0:
 		return fmt.Errorf("core: non-positive paper payload sizes (%d, %d)", c.PaperModelBytes, c.PaperFrameBytes)
+	case c.Shards < 0:
+		return fmt.Errorf("core: negative shard count %d", c.Shards)
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err
@@ -270,6 +281,11 @@ type Engine struct {
 	freeScratch []int
 	openScratch [][2]int
 	matchTaken  []bool
+	// shardScan replaces spatialIdx for pair enumeration when Cfg.Shards > 1
+	// (and the brute-force flag is off); shardObs is the telemetry sink's
+	// optional per-shard statistics side channel.
+	shardScan *shard.Scanner
+	shardObs  telemetry.ShardObserver
 }
 
 // stepOutcome is one vehicle's training work within one tick.
@@ -302,8 +318,14 @@ func NewEngine(cfg Config, tr *trace.Trace, datasets []*dataset.Dataset, rm *rad
 		tel:   cfg.Telemetry,
 	}
 	e.spatialIdx = spatial.New(rm.Params.MaxRangeMeters)
+	if cfg.Shards > 1 && !cfg.DisableSpatialIndex {
+		e.shardScan = shard.NewScanner(cfg.Shards, cfg.Workers)
+	}
 	if w, ok := e.tel.(telemetry.WallObserver); ok {
 		e.wall = w
+	}
+	if o, ok := e.tel.(telemetry.ShardObserver); ok {
+		e.shardObs = o
 	}
 	if e.tel != nil {
 		e.contactOpen = make(map[[2]int]float64)
@@ -429,9 +451,7 @@ func (e *Engine) scanContacts() {
 		pts = append(pts, e.Trace.At(i, e.now))
 	}
 	e.spatialPts = pts
-	e.spatialIdx.Rebuild(pts)
-	inRange := e.spatialIdx.Pairs(e.pairScratch[:0], maxRange)
-	e.pairScratch = inRange
+	inRange := e.rangePairs(pts, maxRange)
 	open := e.openScratch[:0]
 	for key := range e.contactOpen {
 		open = append(open, key)
@@ -498,6 +518,31 @@ func (e *Engine) closeContacts() {
 
 // workers resolves the engine's per-tick parallelism.
 func (e *Engine) workers() int { return parallel.Resolve(e.Cfg.Workers) }
+
+// rangePairs enumerates the pairs of pts within distance r of each other in
+// canonical ascending (A, B) order, through the sharded scanner when
+// Cfg.Shards > 1 and the single spatial index otherwise. Both paths produce
+// the identical pair sequence (the sharded merge restores canonical order
+// and applies the same in-range predicate), so callers are oblivious to the
+// topology. The result aliases e.pairScratch.
+func (e *Engine) rangePairs(pts []geom.Point, r float64) []spatial.Pair {
+	if e.shardScan != nil {
+		e.pairScratch = e.shardScan.Scan(e.pairScratch[:0], pts, r)
+		if e.shardObs != nil {
+			stats := e.shardScan.Stats()
+			for i, st := range stats {
+				e.shardObs.ObserveShardScan(telemetry.ShardScan{
+					Shard: i, Shards: len(stats),
+					Locals: st.Locals, Guests: st.Guests, Pairs: st.Pairs,
+				})
+			}
+		}
+		return e.pairScratch
+	}
+	e.spatialIdx.Rebuild(pts)
+	e.pairScratch = e.spatialIdx.Pairs(e.pairScratch[:0], r)
+	return e.pairScratch
+}
 
 // trainTick runs every vehicle's due local-SGD steps. Each vehicle touches
 // only its own policy, dataset cursor, and private RNG stream, so the due

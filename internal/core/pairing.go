@@ -56,9 +56,7 @@ func (e *Engine) CandidatePairs(score func(a, b int) float64) []CandidatePair {
 		pts = append(pts, e.Trace.At(id, now))
 	}
 	e.spatialPts = pts
-	e.spatialIdx.Rebuild(pts)
-	e.pairScratch = e.spatialIdx.Pairs(e.pairScratch[:0], maxRange)
-	for _, pr := range e.pairScratch {
+	for _, pr := range e.rangePairs(pts, maxRange) {
 		emit(free[pr.A], free[pr.B])
 	}
 	return out

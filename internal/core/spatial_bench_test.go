@@ -25,7 +25,7 @@ func benchEngine(b *testing.B, n int) *Engine {
 	for i := range snap {
 		snap[i] = geom.Pt(rng.Uniform(0, side), rng.Uniform(0, side))
 	}
-	tr := &trace.Trace{DT: 1, Positions: [][]geom.Point{snap}}
+	tr := trace.FromRows(1, [][]geom.Point{snap})
 	datasets := make([]*dataset.Dataset, n)
 	for i := range datasets {
 		datasets[i] = dataset.New(0)

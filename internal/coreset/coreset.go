@@ -184,13 +184,13 @@ func allocateBudget(layers [][]int, layerWeight []float64, totalWeight float64, 
 	// Trim overshoot from the most-allocated layers; distribute any slack to
 	// layers with remaining population, largest weight first.
 	for used > size {
-		worst, max := -1, 0
+		worst, biggest := -1, 0
 		for l, a := range alloc {
-			if a > max {
-				worst, max = l, a
+			if a > biggest {
+				worst, biggest = l, a
 			}
 		}
-		if worst < 0 || max <= 1 {
+		if worst < 0 || biggest <= 1 {
 			break
 		}
 		alloc[worst]--

@@ -53,6 +53,10 @@ type Scale struct {
 	// fleet-evaluation rollouts. 0 means one worker per available CPU; 1
 	// forces the fully serial paths. Output is bit-identical at any setting.
 	Workers int
+	// Shards partitions engine encounter scans into grid regions
+	// (core.Config.Shards); 0 or 1 keeps the single-index path. Output is
+	// bit-identical at any setting.
+	Shards int
 }
 
 // TestScale is a minimal configuration for unit tests.
@@ -123,6 +127,7 @@ func BuildEnv(scale Scale) (*Env, error) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = scale.Seed
 	cfg.Workers = scale.Workers
+	cfg.Shards = scale.Shards
 
 	rng := simrand.New(scale.Seed)
 	w, err := world.New(m, world.SpawnConfig{

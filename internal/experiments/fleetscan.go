@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"context"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"lbchat/internal/metrics"
+	"lbchat/internal/radio"
+	"lbchat/internal/shard"
+	"lbchat/internal/spatial"
+	"lbchat/internal/trace"
+)
+
+// fleetScanDensityCell is the arena scaling constant: one vehicle per
+// 250 m × 250 m on average, matching the spatial benchmarks, so the mean
+// in-range neighborhood (~13 peers at 500 m) is size-independent and per-tick
+// cost differences reflect the scan machinery, not density drift.
+const fleetScanDensityCell = 250.0
+
+// runFleetScan executes the fleetscan scale workload: a synthetic
+// random-waypoint fleet is ticked for the spec duration while every tick's
+// radio-range pairs are enumerated and its positions recorded. Unsharded
+// (Shards <= 1) the trace is held resident and scanned through the single
+// spatial index — today's engine path; sharded, positions stream through a
+// ChunkWriter and pairs come from the region-sharded scanner, the
+// configuration that keeps 10k-vehicle fleets inside memory. The result
+// table reports wall-clock, per-tick rate, peak heap, and pair throughput.
+func runFleetScan(ctx context.Context, spec Spec) (*Result, error) {
+	n := spec.Vehicles
+	if n <= 0 {
+		n = 2048
+	}
+	shards := spec.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	dur := spec.Duration
+	if dur <= 0 {
+		dur = 60
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	const dt = 0.5
+	ticks := int(dur / dt)
+	if ticks < 1 {
+		ticks = 1
+	}
+	maxRange := radio.NewModel(false).Params.MaxRangeMeters
+	side := fleetScanDensityCell * math.Sqrt(float64(n))
+	fleet := shard.NewFleet(seed, n, side)
+
+	var (
+		scanner  *shard.Scanner
+		ix       *spatial.Index
+		resident *trace.Trace
+		cw       *trace.ChunkWriter
+	)
+	if shards > 1 {
+		scanner = shard.NewScanner(shards, spec.Workers)
+		cw = trace.NewChunkWriter(io.Discard, dt, n, trace.DefaultChunkTicks)
+	} else {
+		ix = spatial.New(maxRange)
+		resident = trace.New(dt, n)
+	}
+
+	var pairs []spatial.Pair
+	totalPairs := 0
+	peakHeap := heapInUse()
+	start := time.Now()
+	done := 0
+	for t := 0; t < ticks; t++ {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		fleet.Tick(dt, spec.Workers)
+		pts := fleet.Positions()
+		if shards > 1 {
+			copy(cw.AppendRow(), pts)
+			pairs = scanner.Scan(pairs[:0], pts, maxRange)
+		} else {
+			copy(resident.AppendRow(), pts)
+			ix.Rebuild(pts)
+			pairs = ix.Pairs(pairs[:0], maxRange)
+		}
+		totalPairs += len(pairs)
+		done++
+		if t%16 == 15 {
+			if h := heapInUse(); h > peakHeap {
+				peakHeap = h
+			}
+		}
+	}
+	wall := time.Since(start)
+	if cw != nil {
+		if err := cw.Close(); err != nil {
+			return nil, err
+		}
+	}
+	if h := heapInUse(); h > peakHeap {
+		peakHeap = h
+	}
+
+	tbl := metrics.NewTable("Fleet scan scale workload", "value")
+	tbl.AddRow("vehicles", float64(n))
+	tbl.AddRow("ticks", float64(done))
+	tbl.AddRow("shards", float64(shards))
+	tbl.AddRow("wall ms", float64(wall.Milliseconds()))
+	if wall > 0 {
+		tbl.AddRow("ticks per s", float64(done)/wall.Seconds())
+	}
+	tbl.AddRow("peak heap MB", float64(peakHeap)/(1<<20))
+	if done > 0 {
+		tbl.AddRow("pairs per tick", float64(totalPairs)/float64(done))
+	}
+	return &Result{
+		Experiment: ExpFleetScan,
+		Table:      tbl,
+		Canceled:   ctx.Err() != nil,
+	}, nil
+}
+
+// heapInUse samples the live heap size.
+func heapInUse() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapInuse
+}

@@ -37,6 +37,12 @@ const (
 	// LbChat with vs without session resumption (EXPERIMENTS.md
 	// "Robustness").
 	ExpFaultSweep = "faultsweep"
+	// ExpFleetScan is the scale workload: a synthetic random-waypoint fleet
+	// (internal/shard.Fleet) ticked and pair-scanned for Spec.Duration
+	// virtual seconds, streaming its trace instead of holding it resident
+	// when sharded. It skips the full environment build, so fleets of 10k+
+	// vehicles measure the scan/trace machinery, not dataset collection.
+	ExpFleetScan = "fleetscan"
 )
 
 // Spec selects and parameterizes one experiment for Run. The zero value
@@ -56,12 +62,14 @@ type Spec struct {
 	ScaleName string
 	// Scale overrides ScaleName with an explicit scale.
 	Scale *Scale
-	// Seed, Vehicles, Duration and Workers, when non-zero, override the
-	// resolved scale's fields (Workers=1 forces the serial paths).
+	// Seed, Vehicles, Duration, Workers and Shards, when non-zero, override
+	// the resolved scale's fields (Workers=1 forces the serial paths;
+	// Shards=1 forces the single-index scan).
 	Seed     uint64
 	Vehicles int
 	Duration float64
 	Workers  int
+	Shards   int
 	// Telemetry, when non-nil, receives every run's full event stream in
 	// deterministic order (see Env.Telemetry). The caller owns Close.
 	Telemetry telemetry.Sink
@@ -125,6 +133,12 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	if spec.Experiment == "" {
 		spec.Experiment = ExpProtocol
 	}
+	// The fleetscan scale workload builds no environment (a 10k-vehicle
+	// dataset collection would dwarf the measurement), so it short-circuits
+	// before scale resolution.
+	if spec.Experiment == ExpFleetScan {
+		return runFleetScan(ctx, spec)
+	}
 	env := spec.Env
 	if env == nil {
 		var scale Scale
@@ -147,6 +161,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 		if spec.Workers != 0 {
 			scale.Workers = spec.Workers
+		}
+		if spec.Shards != 0 {
+			scale.Shards = spec.Shards
 		}
 		var err error
 		if env, err = BuildEnv(scale); err != nil {
@@ -286,6 +303,16 @@ func CommTable(runs []*ProtocolRun) *metrics.Table {
 	if anyCount(telemetry.MSalvages) {
 		row("partial salvages", func(r *ProtocolRun) float64 {
 			return float64(r.Comm.Reg.Counter(telemetry.MSalvages))
+		})
+	}
+	// Shard rows appear only for sharded runs, so single-index reports
+	// render exactly as before the shard layer existed.
+	if anyCount(telemetry.MShardScans) {
+		row("shard scans", func(r *ProtocolRun) float64 {
+			return float64(r.Comm.Reg.Counter(telemetry.MShardScans))
+		})
+		row("shard halo guests", func(r *ProtocolRun) float64 {
+			return float64(r.Comm.Reg.Counter(telemetry.MShardGuests))
 		})
 	}
 	row("final probe loss (x1000)", func(r *ProtocolRun) float64 {

@@ -1,0 +1,7 @@
+// Package repolint holds repository-wide static checks that run as plain
+// go tests. Unlike external linters these need no module proxy access, so
+// they gate CI even on offline boxes. The current check walks every Go
+// file and rejects declarations that shadow predeclared identifiers (cap,
+// len, max, min, new, ...), which read as builtin calls at a glance and
+// break them for the rest of the scope.
+package repolint

@@ -1,0 +1,139 @@
+package repolint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ShadowedBuiltins parses every .go file under root and returns one
+// "path:line:col: name" finding per declaration whose name shadows a
+// predeclared identifier — anything in the types.Universe scope, which
+// covers the builtin functions (append, cap, clear, copy, delete, len,
+// make, max, min, new, ...), the predeclared types, and the constants
+// true/false/iota/nil. Checked declaration sites: short variable
+// declarations, range clauses, var/const specs, type names, function
+// names, and func parameter/result/receiver lists. Struct fields and
+// method names are not checked — they are selector-qualified and cannot
+// shadow anything. The blank identifier is always allowed.
+func ShadowedBuiltins(root string) ([]string, error) {
+	var findings []string
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		rel, relErr := filepath.Rel(root, path)
+		if relErr != nil {
+			rel = path
+		}
+		checkFile(fset, rel, file, &findings)
+		return nil
+	})
+	return findings, err
+}
+
+// checkFile appends a finding for each shadowing declaration in one file.
+func checkFile(fset *token.FileSet, path string, file *ast.File, findings *[]string) {
+	flag := func(id *ast.Ident) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		if types.Universe.Lookup(id.Name) == nil {
+			return
+		}
+		pos := fset.Position(id.Pos())
+		*findings = append(*findings,
+			fmt.Sprintf("%s:%d:%d: declaration shadows builtin %q", path, pos.Line, pos.Column, id.Name))
+	}
+	flagFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				flag(name)
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						flag(id)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Tok == token.DEFINE {
+				if id, ok := n.Key.(*ast.Ident); ok {
+					flag(id)
+				}
+				if id, ok := n.Value.(*ast.Ident); ok {
+					flag(id)
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range n.Names {
+				flag(name)
+			}
+		case *ast.TypeSpec:
+			flag(n.Name)
+			flagFields(n.TypeParams)
+		case *ast.FuncDecl:
+			if n.Recv == nil {
+				// Method names are selector-qualified; only plain
+				// functions can shadow a builtin at the call site.
+				flag(n.Name)
+			}
+			flagFields(n.Recv)
+		case *ast.FuncType:
+			// Covers both declarations and literals: FuncDecl.Type and
+			// FuncLit.Type are visited here.
+			flagFields(n.TypeParams)
+			flagFields(n.Params)
+			flagFields(n.Results)
+		}
+		return true
+	})
+}
+
+// ModuleRoot walks upward from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,81 @@
+package repolint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoShadowedBuiltins is the repository-wide assertion: no Go file in
+// the module may declare a name that shadows a predeclared identifier.
+func TestNoShadowedBuiltins(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	findings, err := ShadowedBuiltins(root)
+	if err != nil {
+		t.Fatalf("ShadowedBuiltins: %v", err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}
+
+// TestDetectsShadowingForms pins down the declaration sites the checker
+// must catch, and the ones it must deliberately ignore.
+func TestDetectsShadowingForms(t *testing.T) {
+	src := `package p
+
+func cap() {}                  // function name
+
+func f(len int) (min int) {   // param and named result
+	max := 1                   // short declaration
+	var new int                // var spec
+	const copy = 2             // const spec
+	for clear := range []int{} { _ = clear } // range key
+	g := func(delete string) {} // func literal param
+	_ = g
+	_, _, _ = max, new, copy
+	return
+}
+
+type append struct{}           // type name
+
+type ok struct {
+	len int                    // struct field: must NOT be flagged
+}
+
+func (o ok) close() {}         // method name: must NOT be flagged
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := ShadowedBuiltins(dir)
+	if err != nil {
+		t.Fatalf("ShadowedBuiltins: %v", err)
+	}
+	want := []string{"cap", "len", "min", "max", "new", "copy", "clear", "delete", "append"}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(findings), len(want), strings.Join(findings, "\n"))
+	}
+	for _, name := range want {
+		hit := false
+		for _, f := range findings {
+			if strings.Contains(f, `"`+name+`"`) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("no finding for shadowed builtin %q in:\n%s", name, strings.Join(findings, "\n"))
+		}
+	}
+	for _, f := range findings {
+		if strings.Contains(f, `"close"`) || strings.Contains(f, `"ok"`) {
+			t.Errorf("field/method name wrongly flagged: %s", f)
+		}
+	}
+}

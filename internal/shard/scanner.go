@@ -1,0 +1,323 @@
+package shard
+
+import (
+	"math"
+	"slices"
+
+	"lbchat/internal/geom"
+	"lbchat/internal/parallel"
+	"lbchat/internal/spatial"
+)
+
+// Grid chooses the near-square Sx×Sy region factorization for a shard
+// count: Sx is the largest divisor of shards not exceeding its square root,
+// so 4 shards tile 2×2, 6 tile 2×3, and a prime count degrades to one strip
+// per shard.
+func Grid(shards int) (sx, sy int) {
+	if shards < 1 {
+		shards = 1
+	}
+	sx = 1
+	for d := 1; d*d <= shards; d++ {
+		if shards%d == 0 {
+			sx = d
+		}
+	}
+	return sx, shards / sx
+}
+
+// ShardStats describes one shard's share of the last scan.
+type ShardStats struct {
+	// Locals is the number of vehicles owned by the shard.
+	Locals int
+	// Guests is the number of halo copies imported from other shards.
+	Guests int
+	// Pairs is the number of radio-range pairs the shard owned and emitted.
+	Pairs int
+}
+
+// Scanner enumerates radio-range pairs with the fleet partitioned into
+// Sx×Sy grid regions, each scanned independently (and concurrently) on the
+// parallel pool. All scratch state is reused across scans, so steady-state
+// scans allocate nothing. A Scanner is not safe for concurrent use.
+type Scanner struct {
+	shards  int
+	sx, sy  int
+	workers int
+
+	owner   []int32 // owner shard per point
+	shState []shardScratch
+	merged  []uint64
+	stats   []ShardStats
+}
+
+// shardScratch is one shard's reusable scan state.
+type shardScratch struct {
+	ids    []int32      // population: local point ids then guest ids
+	pts    []geom.Point // gathered positions, aligned with ids
+	locals int          // ids[:locals] are owned by this shard
+
+	// Dense counting-sort grid over the population.
+	counts []int32 // per-cell counts, then prefix-summed into starts
+	order  []int32 // population indices bucketed by cell
+	pairs  []uint64
+}
+
+// NewScanner returns a scanner over the given shard count, running shards
+// on up to workers goroutines (0 = one per CPU, the parallel package's
+// convention). Shard counts below 1 are clamped to 1.
+func NewScanner(shards, workers int) *Scanner {
+	if shards < 1 {
+		shards = 1
+	}
+	sx, sy := Grid(shards)
+	return &Scanner{
+		shards:  shards,
+		sx:      sx,
+		sy:      sy,
+		workers: workers,
+		shState: make([]shardScratch, shards),
+		stats:   make([]ShardStats, shards),
+	}
+}
+
+// Shards returns the shard count.
+func (s *Scanner) Shards() int { return s.shards }
+
+// Grid returns the scanner's region grid dimensions.
+func (s *Scanner) Grid() (sx, sy int) { return s.sx, s.sy }
+
+// Stats returns per-shard statistics for the most recent Scan. The slice is
+// owned by the scanner and overwritten by the next Scan.
+func (s *Scanner) Stats() []ShardStats { return s.stats }
+
+// regionOf clamps a coordinate offset to a region index in [0, n).
+func regionOf(off, width float64, n int) int {
+	if width <= 0 || n <= 1 {
+		return 0
+	}
+	i := int(off / width)
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// Scan appends to dst every pair of points within distance r of each other
+// (closed ball, the spatial.WithinBall predicate) in canonical ascending
+// (A, B) order — the same set and order spatial.Index.Pairs produces, and
+// therefore the same as the brute-force double loop. The pts slice is read
+// but not retained.
+func (s *Scanner) Scan(dst []spatial.Pair, pts []geom.Point, r float64) []spatial.Pair {
+	n := len(pts)
+	for i := range s.stats {
+		s.stats[i] = ShardStats{}
+	}
+	if n == 0 || r < 0 {
+		return dst
+	}
+
+	// Occupied bounding box → Sx×Sy regions.
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	wx := (maxX - minX) / float64(s.sx)
+	wy := (maxY - minY) / float64(s.sy)
+
+	// Assign owners and build each shard's population: owned points first,
+	// then halo guests — every point is exported to each region its radio
+	// disc [x±r, y±r] overlaps, so the owner of a pair's lower-ID member
+	// always has the partner in its population.
+	if cap(s.owner) < n {
+		s.owner = make([]int32, n)
+	}
+	s.owner = s.owner[:n]
+	for i := range s.shState {
+		st := &s.shState[i]
+		st.ids = st.ids[:0]
+		st.pts = st.pts[:0]
+		st.pairs = st.pairs[:0]
+	}
+	for i, p := range pts {
+		sxi := regionOf(p.X-minX, wx, s.sx)
+		syi := regionOf(p.Y-minY, wy, s.sy)
+		own := syi*s.sx + sxi
+		s.owner[i] = int32(own)
+		st := &s.shState[own]
+		st.ids = append(st.ids, int32(i))
+		st.pts = append(st.pts, p)
+	}
+	for i := range s.shState {
+		s.shState[i].locals = len(s.shState[i].ids)
+	}
+	if s.shards > 1 {
+		for i, p := range pts {
+			cx0 := regionOf(p.X-r-minX, wx, s.sx)
+			cx1 := regionOf(p.X+r-minX, wx, s.sx)
+			cy0 := regionOf(p.Y-r-minY, wy, s.sy)
+			cy1 := regionOf(p.Y+r-minY, wy, s.sy)
+			for ry := cy0; ry <= cy1; ry++ {
+				for rx := cx0; rx <= cx1; rx++ {
+					sh := ry*s.sx + rx
+					if int32(sh) == s.owner[i] {
+						continue
+					}
+					st := &s.shState[sh]
+					st.ids = append(st.ids, int32(i))
+					st.pts = append(st.pts, p)
+				}
+			}
+		}
+	}
+
+	// Each shard enumerates the pairs it owns, independently.
+	parallel.ForEach(s.workers, s.shards, func(sh int) {
+		st := &s.shState[sh]
+		st.scanPairs(r)
+		s.stats[sh] = ShardStats{
+			Locals: st.locals,
+			Guests: len(st.ids) - st.locals,
+			Pairs:  len(st.pairs),
+		}
+	})
+
+	// Merge: per-shard pair sets are disjoint; one global sort of the packed
+	// (A<<32 | B) keys restores the canonical ascending (A, B) order.
+	s.merged = s.merged[:0]
+	for i := range s.shState {
+		s.merged = append(s.merged, s.shState[i].pairs...)
+	}
+	slices.Sort(s.merged)
+	for _, key := range s.merged {
+		dst = append(dst, spatial.Pair{A: int(key >> 32), B: int(uint32(key))})
+	}
+	return dst
+}
+
+// scanPairs enumerates the radio-range pairs this shard owns from its
+// population via a dense counting-sort grid with cell size >= r: for each
+// local point, candidates live in the cells overlapping its [±r] box.
+func (st *shardScratch) scanPairs(r float64) {
+	npts := len(st.ids)
+	if npts < 2 || st.locals == 0 {
+		return
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range st.pts {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	// Grid dimensions: cells of size >= r, capped so the dense arrays stay
+	// O(population) even when r is tiny relative to the spread.
+	maxCells := 4*npts + 64
+	maxDim := int(math.Sqrt(float64(maxCells)))
+	ncx := gridDim(maxX-minX, r, maxDim)
+	ncy := gridDim(maxY-minY, r, maxDim)
+	cw := cellWidth(maxX-minX, ncx)
+	ch := cellWidth(maxY-minY, ncy)
+	ncells := ncx * ncy
+
+	if cap(st.counts) < ncells+1 {
+		st.counts = make([]int32, ncells+1)
+	}
+	st.counts = st.counts[:ncells+1]
+	for i := range st.counts {
+		st.counts[i] = 0
+	}
+	if cap(st.order) < npts {
+		st.order = make([]int32, npts)
+	}
+	st.order = st.order[:npts]
+
+	// Counting sort of the population into cells.
+	cellOf := func(p geom.Point) int {
+		cx := regionOf(p.X-minX, cw, ncx)
+		cy := regionOf(p.Y-minY, ch, ncy)
+		return cy*ncx + cx
+	}
+	for _, p := range st.pts {
+		st.counts[cellOf(p)+1]++
+	}
+	for c := 1; c <= ncells; c++ {
+		st.counts[c] += st.counts[c-1]
+	}
+	// counts[c] is now the fill cursor for cell c; after the placement loop
+	// it has advanced to the cell's end offset, i.e. counts[c] = start[c+1].
+	for i, p := range st.pts {
+		c := cellOf(p)
+		st.order[st.counts[c]] = int32(i)
+		st.counts[c]++
+	}
+
+	rr := r * r
+	for li := 0; li < st.locals; li++ {
+		a := st.ids[li]
+		p := st.pts[li]
+		cx0 := regionOf(p.X-r-minX, cw, ncx)
+		cx1 := regionOf(p.X+r-minX, cw, ncx)
+		cy0 := regionOf(p.Y-r-minY, ch, ncy)
+		cy1 := regionOf(p.Y+r-minY, ch, ncy)
+		for cy := cy0; cy <= cy1; cy++ {
+			rowBase := cy * ncx
+			for cx := cx0; cx <= cx1; cx++ {
+				c := rowBase + cx
+				lo := int32(0)
+				if c > 0 {
+					lo = st.counts[c-1]
+				}
+				for _, pi := range st.order[lo:st.counts[c]] {
+					b := st.ids[pi]
+					if b <= a {
+						continue
+					}
+					// This shard owns pair (a, b) iff it owns min(a, b)
+					// = a; a is local by construction. A guest with a
+					// smaller id than a local partner is another shard's
+					// pair, and guests are never iterated here.
+					if spatial.WithinBall(p, st.pts[pi], r, rr) {
+						st.pairs = append(st.pairs, uint64(a)<<32|uint64(uint32(b)))
+					}
+				}
+			}
+		}
+	}
+}
+
+// gridDim returns the cell count along one axis: enough cells that each is
+// at least r wide, capped at maxDim, and at least 1.
+func gridDim(span, r float64, maxDim int) int {
+	if span <= 0 || r <= 0 {
+		if span <= 0 {
+			return 1
+		}
+		return maxDim
+	}
+	d := int(span/r) + 1
+	if d > maxDim {
+		d = maxDim
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// cellWidth returns the width of one cell along an axis (0 collapses the
+// axis to a single column).
+func cellWidth(span float64, dim int) float64 {
+	if span <= 0 || dim <= 0 {
+		return 0
+	}
+	return span / float64(dim)
+}

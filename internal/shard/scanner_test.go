@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"lbchat/internal/geom"
+	"lbchat/internal/simrand"
+	"lbchat/internal/spatial"
+)
+
+// brutePairs is the reference O(N²) enumeration in canonical order.
+func brutePairs(pts []geom.Point, r float64) []spatial.Pair {
+	var out []spatial.Pair
+	for a := 0; a < len(pts); a++ {
+		for b := a + 1; b < len(pts); b++ {
+			if pts[a].Dist(pts[b]) <= r {
+				out = append(out, spatial.Pair{A: a, B: b})
+			}
+		}
+	}
+	return out
+}
+
+func samePairs(t *testing.T, label string, got, want []spatial.Pair) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: pair %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// scatter draws n points; clustered pulls a third of them into tight knots
+// that straddle region borders once sharded.
+func scatter(seed uint64, n int, side float64, clustered bool) []geom.Point {
+	rng := simrand.New(seed)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Uniform(0, side), rng.Uniform(0, side))
+	}
+	if clustered {
+		for i := 0; i < n/3; i++ {
+			cx, cy := side/2, side*float64(i%3)/3
+			pts[i] = geom.Pt(rng.Normal(cx, side/100), rng.Normal(cy, side/100))
+		}
+	}
+	return pts
+}
+
+func TestScanMatchesBruteForce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 120} {
+		for _, clustered := range []bool{false, true} {
+			pts := scatter(uint64(n)+7, n, 4000, clustered)
+			want := brutePairs(pts, 500)
+			for _, shards := range []int{1, 2, 3, 4, 7, 8} {
+				for _, workers := range []int{1, 4} {
+					sc := NewScanner(shards, workers)
+					got := sc.Scan(nil, pts, 500)
+					samePairs(t, fmt.Sprintf("n=%d clustered=%v shards=%d workers=%d", n, clustered, shards, workers), got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestScanMatchesSpatialIndex(t *testing.T) {
+	pts := scatter(11, 200, 6000, true)
+	const r = 500
+	ix := spatial.New(r)
+	ix.Rebuild(pts)
+	want := ix.Pairs(nil, r)
+	for _, shards := range []int{2, 4, 6} {
+		sc := NewScanner(shards, 2)
+		got := sc.Scan(nil, pts, r)
+		samePairs(t, fmt.Sprintf("shards=%d", shards), got, want)
+	}
+}
+
+func TestScanDegenerateGeometry(t *testing.T) {
+	cases := map[string][]geom.Point{
+		"coincident":  {geom.Pt(5, 5), geom.Pt(5, 5), geom.Pt(5, 5)},
+		"collinear-x": {geom.Pt(0, 0), geom.Pt(100, 0), geom.Pt(200, 0), geom.Pt(301, 0)},
+		"collinear-y": {geom.Pt(0, 0), geom.Pt(0, 100), geom.Pt(0, 200)},
+		"exact-range": {geom.Pt(0, 0), geom.Pt(300, 0), geom.Pt(0, 300.0000001)},
+		"negative":    {geom.Pt(-1000, -2000), geom.Pt(-1100, -2050), geom.Pt(500, 400)},
+	}
+	for name, pts := range cases {
+		want := brutePairs(pts, 300)
+		for _, shards := range []int{1, 2, 4, 9} {
+			sc := NewScanner(shards, 1)
+			got := sc.Scan(nil, pts, 300)
+			samePairs(t, name+fmt.Sprintf("/shards=%d", shards), got, want)
+		}
+	}
+}
+
+func TestScanReusedScannerStaysCorrect(t *testing.T) {
+	// Scratch reuse across scans of different sizes must not leak state.
+	sc := NewScanner(4, 2)
+	for _, n := range []int{150, 40, 0, 90, 150} {
+		pts := scatter(uint64(n)*13+1, n, 3000, n%2 == 0)
+		want := brutePairs(pts, 400)
+		got := sc.Scan(nil, pts, 400)
+		samePairs(t, fmt.Sprintf("reuse n=%d", n), got, want)
+	}
+}
+
+func TestScanStats(t *testing.T) {
+	pts := scatter(3, 100, 2000, false)
+	sc := NewScanner(4, 1)
+	got := sc.Scan(nil, pts, 300)
+	stats := sc.Stats()
+	if len(stats) != 4 {
+		t.Fatalf("stats for %d shards", len(stats))
+	}
+	locals, pairs := 0, 0
+	for _, st := range stats {
+		locals += st.Locals
+		pairs += st.Pairs
+		if st.Locals < 0 || st.Guests < 0 || st.Pairs < 0 {
+			t.Fatalf("negative stats: %+v", st)
+		}
+	}
+	if locals != len(pts) {
+		t.Errorf("locals sum to %d, want %d", locals, len(pts))
+	}
+	if pairs != len(got) {
+		t.Errorf("per-shard pairs sum to %d, want %d", pairs, len(got))
+	}
+}
+
+func TestGridFactorization(t *testing.T) {
+	for _, tc := range []struct{ shards, sx, sy int }{
+		{1, 1, 1}, {2, 1, 2}, {3, 1, 3}, {4, 2, 2}, {6, 2, 3},
+		{7, 1, 7}, {8, 2, 4}, {9, 3, 3}, {12, 3, 4}, {0, 1, 1},
+	} {
+		sx, sy := Grid(tc.shards)
+		if sx != tc.sx || sy != tc.sy {
+			t.Errorf("Grid(%d) = %d×%d, want %d×%d", tc.shards, sx, sy, tc.sx, tc.sy)
+		}
+	}
+}
+
+// TestHaloCrossingMidContact drives two vehicles toward and across a shard
+// border while inside radio range: the pair must be reported by exactly one
+// shard at every step, before, during, and after the ownership handoff.
+func TestHaloCrossingMidContact(t *testing.T) {
+	const r = 300
+	sc := NewScanner(2, 1) // 1×2 grid: horizontal border at the arena's mid-y
+	// A third, far-away stationary pair pins the bounding box so the border
+	// stays put while the crossing pair moves.
+	anchor := []geom.Point{geom.Pt(0, 0), geom.Pt(4000, 4000)}
+	for step := 0; step <= 40; step++ {
+		y := 1800 + 10*float64(step) // 1800 → 2200, crossing y=2000
+		pts := append([]geom.Point{
+			geom.Pt(1000, y),
+			geom.Pt(1100, y+60), // partner stays within r, offset across the border
+		}, anchor...)
+		want := brutePairs(pts, r)
+		got := sc.Scan(nil, pts, r)
+		samePairs(t, fmt.Sprintf("crossing step %d (y=%g)", step, y), got, want)
+		found := false
+		for _, pr := range got {
+			if pr == (spatial.Pair{A: 0, B: 1}) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("crossing pair lost at step %d (y=%g)", step, y)
+		}
+		// The two shards see the moving pair exactly once in total.
+		total := 0
+		for _, st := range sc.Stats() {
+			total += st.Pairs
+		}
+		if total != len(got) {
+			t.Fatalf("step %d: shards emitted %d pairs, merged %d", step, total, len(got))
+		}
+	}
+}
+
+func TestFleetDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) []geom.Point {
+		f := NewFleet(42, 64, 2000)
+		for i := 0; i < 200; i++ {
+			f.Tick(0.5, workers)
+		}
+		return append([]geom.Point(nil), f.Positions()...)
+	}
+	base := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		for i := range base {
+			if base[i] != got[i] {
+				t.Fatalf("fleet diverges at vehicle %d with %d workers", i, workers)
+			}
+		}
+	}
+}
+
+func TestFleetStaysInArena(t *testing.T) {
+	f := NewFleet(7, 32, 1000)
+	for i := 0; i < 500; i++ {
+		f.Tick(1, 1)
+	}
+	for i, p := range f.Positions() {
+		if p.X < 0 || p.X > 1000 || p.Y < 0 || p.Y > 1000 ||
+			math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			t.Fatalf("vehicle %d escaped to %v", i, p)
+		}
+	}
+}
+
+// BenchmarkShardScan measures per-tick pair enumeration at fleet scale for
+// shard counts {1, 4} against the single spatial.Index path, at matching
+// density (~13 in-range peers at 500 m).
+func BenchmarkShardScan(b *testing.B) {
+	for _, n := range []int{2048, 10240} {
+		side := 250 * math.Sqrt(float64(n))
+		pts := scatter(uint64(n), n, side, false)
+		b.Run(fmt.Sprintf("N=%d/index", n), func(b *testing.B) {
+			ix := spatial.New(500)
+			var pairs []spatial.Pair
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ix.Rebuild(pts)
+				pairs = ix.Pairs(pairs[:0], 500)
+			}
+			b.ReportMetric(float64(len(pairs)), "pairs")
+		})
+		for _, shards := range []int{1, 4} {
+			b.Run(fmt.Sprintf("N=%d/shards=%d", n, shards), func(b *testing.B) {
+				sc := NewScanner(shards, 0)
+				var pairs []spatial.Pair
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					pairs = sc.Scan(pairs[:0], pts, 500)
+				}
+				b.ReportMetric(float64(len(pairs)), "pairs")
+			})
+		}
+	}
+}

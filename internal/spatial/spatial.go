@@ -167,6 +167,13 @@ func (ix *Index) ForCandidates(p geom.Point, r float64, fn func(i int, q geom.Po
 // which keeps index-backed queries bit-identical to the brute-force scans
 // they replace at a fraction of the cost.
 func withinBall(p, q geom.Point, r, rr float64) bool {
+	return WithinBall(p, q, r, rr)
+}
+
+// WithinBall reports whether q lies in the closed ball (p, r); rr must be
+// r*r. It is the exported form of the screened predicate, shared with
+// internal/shard so sharded scans apply the bit-identical in-range test.
+func WithinBall(p, q geom.Point, r, rr float64) bool {
 	dx, dy := q.X-p.X, q.Y-p.Y
 	sq := dx*dx + dy*dy
 	const margin = 1e-12

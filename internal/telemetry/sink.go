@@ -24,6 +24,25 @@ type WallObserver interface {
 	ObserveTrainWall(nanos int64)
 }
 
+// ShardScan describes one shard's share of a sharded encounter scan: how
+// many vehicles it owned, how many halo copies it imported from neighboring
+// regions, and how many radio-range pairs it emitted.
+type ShardScan struct {
+	// Shard is the shard's index; Shards is the run's shard count.
+	Shard, Shards int
+	// Locals, Guests, and Pairs are the shard's population and output sizes.
+	Locals, Guests, Pairs int
+}
+
+// ShardObserver receives per-shard scan statistics from the engine. Like
+// WallObserver it is a separate, optional interface — not an Event — so
+// shard topology can never leak into the deterministic event stream, which
+// stays byte-identical across shard counts.
+type ShardObserver interface {
+	// ObserveShardScan records one shard's share of one encounter scan.
+	ObserveShardScan(scan ShardScan)
+}
+
 // MemorySink buffers every event in memory: the test sink, and the per-run
 // buffer the experiment harness uses to serialize concurrent runs into one
 // output stream.
@@ -70,10 +89,12 @@ func (m *MemorySink) Drain(dst Sink) {
 	}
 }
 
-// multiSink fans events (and wall observations) out to several sinks.
+// multiSink fans events (and side-channel observations) out to several
+// sinks.
 type multiSink struct {
-	sinks []Sink
-	walls []WallObserver
+	sinks  []Sink
+	walls  []WallObserver
+	shards []ShardObserver
 }
 
 // Tee returns a sink that forwards every event to all given sinks (nils are
@@ -97,6 +118,9 @@ func Tee(sinks ...Sink) Sink {
 		if w, ok := s.(WallObserver); ok {
 			m.walls = append(m.walls, w)
 		}
+		if o, ok := s.(ShardObserver); ok {
+			m.shards = append(m.shards, o)
+		}
 	}
 	return m
 }
@@ -112,6 +136,13 @@ func (m *multiSink) Emit(ev Event) {
 func (m *multiSink) ObserveTrainWall(nanos int64) {
 	for _, w := range m.walls {
 		w.ObserveTrainWall(nanos)
+	}
+}
+
+// ObserveShardScan implements ShardObserver.
+func (m *multiSink) ObserveShardScan(scan ShardScan) {
+	for _, o := range m.shards {
+		o.ObserveShardScan(scan)
 	}
 }
 

@@ -33,6 +33,11 @@ const (
 	MTrainSteps  = "train.steps"
 	MTrainWallNs = "train.wall_ns"
 
+	MShardScans  = "shard.scans"
+	MShardPairs  = "shard.pairs"
+	MShardGuests = "shard.guests"
+	MShardLocals = "shard.locals"
+
 	MFaultsInjected = "fault.injected"
 	MChatResumed    = "chat.resumed"
 	MResumeSavedB   = "chat.resume_saved_bytes"
@@ -49,6 +54,7 @@ var (
 	contactEdges = []float64{5, 15, 30, 60, 120, 300}
 	wPeerEdges   = []float64{0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9}
 	trainNsEdges = []float64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+	localsEdges  = []float64{16, 64, 256, 1024, 4096, 16384}
 )
 
 // Summary is the always-cheap aggregating sink: it folds the event stream
@@ -142,6 +148,16 @@ func (s *Summary) Emit(ev Event) {
 // aggregate histogram, never in the event stream.
 func (s *Summary) ObserveTrainWall(nanos int64) {
 	s.Reg.Observe(MTrainWallNs, trainNsEdges, float64(nanos))
+}
+
+// ObserveShardScan implements ShardObserver: shard topology lives only in
+// these aggregates, never in the event stream, so event output stays
+// byte-identical across shard counts.
+func (s *Summary) ObserveShardScan(scan ShardScan) {
+	s.Reg.Inc(MShardScans, 1)
+	s.Reg.Inc(MShardPairs, int64(scan.Pairs))
+	s.Reg.Inc(MShardGuests, int64(scan.Guests))
+	s.Reg.Observe(MShardLocals, localsEdges, float64(scan.Locals))
 }
 
 // Close implements Sink (no-op).

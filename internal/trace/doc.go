@@ -5,4 +5,11 @@
 //
 // The paper runs its CARLA world for 120 hours and records expert positions
 // at 2 fps; we generate traces the same way from internal/world.
+//
+// Storage is columnar and chunked: positions live in flat []geom.Point
+// backing arrays of fixed tick capacity, laid out row-major [tick][vehicle],
+// so appending a tick allocates nothing in steady state and a whole tick is
+// one contiguous Row. ChunkWriter/ChunkReader stream the same chunks through
+// io.Writer/io.Reader (format "LBTC"), so 10k-vehicle recordings need not be
+// resident.
 package trace

@@ -1,0 +1,261 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"lbchat/internal/geom"
+)
+
+// Stream format ("LBTC", little-endian throughout):
+//
+//	header:  magic "LBTC" | uint32 version | float64 dt |
+//	         uint32 vehicles | uint32 chunkTicks
+//	chunk:   uint32 ticksInChunk | ticksInChunk*vehicles × (float64 x, float64 y)
+//	footer:  uint32 0 (a zero-tick chunk marks end of stream)
+//
+// Chunks arrive in tick order; every chunk except the last carries exactly
+// chunkTicks ticks. The format is self-delimiting, so traces can be framed
+// inside a larger stream.
+const (
+	streamMagic   = "LBTC"
+	streamVersion = 1
+)
+
+// ChunkWriter streams trace chunks to an io.Writer so a recording can be
+// spilled incrementally instead of held resident. Rows are appended with
+// AppendRow (same contract as Trace.AppendRow); full chunks are flushed as
+// they complete, and Close flushes the tail chunk plus the end-of-stream
+// marker.
+type ChunkWriter struct {
+	w          *bufio.Writer
+	dt         float64
+	vehicles   int
+	chunkTicks int
+	buf        []geom.Point // current partial chunk, row-major
+	ticks      int          // ticks written overall (committed + buffered)
+	scratch    []byte
+	headerOK   bool
+	closed     bool
+	err        error
+}
+
+// NewChunkWriter returns a writer streaming to w. Non-positive chunkTicks
+// falls back to DefaultChunkTicks. The header is written lazily on the
+// first append (or Close), so constructing a writer is infallible.
+func NewChunkWriter(w io.Writer, dt float64, vehicles, chunkTicks int) *ChunkWriter {
+	if chunkTicks <= 0 {
+		chunkTicks = DefaultChunkTicks
+	}
+	if vehicles < 0 {
+		vehicles = 0
+	}
+	return &ChunkWriter{
+		w:          bufio.NewWriter(w),
+		dt:         dt,
+		vehicles:   vehicles,
+		chunkTicks: chunkTicks,
+		buf:        make([]geom.Point, 0, chunkTicks*vehicles),
+	}
+}
+
+// AppendRow extends the stream by one tick and returns the row's backing
+// slice (length vehicles) for the caller to fill in place before the next
+// AppendRow or Close call. Appending after Close, or after a write error,
+// returns nil.
+func (cw *ChunkWriter) AppendRow() []geom.Point {
+	if cw.err != nil || cw.closed {
+		return nil
+	}
+	if len(cw.buf) == cw.chunkTicks*cw.vehicles && cw.vehicles > 0 {
+		cw.flushChunk()
+		if cw.err != nil {
+			return nil
+		}
+	}
+	off := len(cw.buf)
+	cw.buf = cw.buf[: off+cw.vehicles : cw.chunkTicks*cw.vehicles]
+	cw.ticks++
+	return cw.buf[off:]
+}
+
+// NumTicks returns the number of rows appended so far.
+func (cw *ChunkWriter) NumTicks() int { return cw.ticks }
+
+func (cw *ChunkWriter) writeHeader() {
+	if cw.headerOK || cw.err != nil {
+		return
+	}
+	if _, err := cw.w.WriteString(streamMagic); err != nil {
+		cw.err = err
+		return
+	}
+	cw.scratch = binary.LittleEndian.AppendUint32(cw.scratch[:0], streamVersion)
+	cw.scratch = binary.LittleEndian.AppendUint64(cw.scratch, math.Float64bits(cw.dt))
+	cw.scratch = binary.LittleEndian.AppendUint32(cw.scratch, uint32(cw.vehicles))
+	cw.scratch = binary.LittleEndian.AppendUint32(cw.scratch, uint32(cw.chunkTicks))
+	_, cw.err = cw.w.Write(cw.scratch)
+	cw.headerOK = true
+}
+
+func (cw *ChunkWriter) flushChunk() {
+	cw.writeHeader()
+	if cw.err != nil {
+		return
+	}
+	ticksInChunk := 0
+	if cw.vehicles > 0 {
+		ticksInChunk = len(cw.buf) / cw.vehicles
+	}
+	if ticksInChunk == 0 {
+		return
+	}
+	cw.scratch = binary.LittleEndian.AppendUint32(cw.scratch[:0], uint32(ticksInChunk))
+	for _, p := range cw.buf {
+		cw.scratch = binary.LittleEndian.AppendUint64(cw.scratch, math.Float64bits(p.X))
+		cw.scratch = binary.LittleEndian.AppendUint64(cw.scratch, math.Float64bits(p.Y))
+	}
+	_, cw.err = cw.w.Write(cw.scratch)
+	cw.buf = cw.buf[:0]
+}
+
+// Close flushes the partial tail chunk and the end-of-stream marker. It is
+// idempotent; the first error encountered anywhere in the stream's life is
+// returned.
+func (cw *ChunkWriter) Close() error {
+	if cw.closed {
+		return cw.err
+	}
+	cw.closed = true
+	cw.flushChunk()
+	cw.writeHeader()
+	if cw.err == nil {
+		cw.scratch = binary.LittleEndian.AppendUint32(cw.scratch[:0], 0)
+		_, cw.err = cw.w.Write(cw.scratch)
+	}
+	if cw.err == nil {
+		cw.err = cw.w.Flush()
+	}
+	return cw.err
+}
+
+// ChunkReader streams trace chunks from an io.Reader. Next returns each
+// chunk's rows without retaining previous chunks, so a consumer's working
+// set is one chunk regardless of trace length.
+type ChunkReader struct {
+	r          *bufio.Reader
+	dt         float64
+	vehicles   int
+	chunkTicks int
+	buf        []geom.Point
+	scratch    []byte
+	done       bool
+}
+
+// NewChunkReader parses the stream header and returns a reader positioned
+// at the first chunk.
+func NewChunkReader(r io.Reader) (*ChunkReader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(streamMagic)+4+8+4+4)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading stream header: %w", err)
+	}
+	if string(head[:4]) != streamMagic {
+		return nil, fmt.Errorf("trace: bad stream magic %q", head[:4])
+	}
+	version := binary.LittleEndian.Uint32(head[4:])
+	if version != streamVersion {
+		return nil, fmt.Errorf("trace: unsupported stream version %d", version)
+	}
+	dt := math.Float64frombits(binary.LittleEndian.Uint64(head[8:]))
+	vehicles := int(binary.LittleEndian.Uint32(head[16:]))
+	chunkTicks := int(binary.LittleEndian.Uint32(head[20:]))
+	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return nil, fmt.Errorf("trace: stream header carries invalid dt %g", dt)
+	}
+	if chunkTicks <= 0 {
+		return nil, fmt.Errorf("trace: stream header carries invalid chunk capacity %d", chunkTicks)
+	}
+	return &ChunkReader{r: br, dt: dt, vehicles: vehicles, chunkTicks: chunkTicks}, nil
+}
+
+// DT returns the stream's tick interval.
+func (cr *ChunkReader) DT() float64 { return cr.dt }
+
+// NumVehicles returns the stream's vehicle count.
+func (cr *ChunkReader) NumVehicles() int { return cr.vehicles }
+
+// ChunkTicks returns the stream's chunk capacity in ticks.
+func (cr *ChunkReader) ChunkTicks() int { return cr.chunkTicks }
+
+// Next returns the next chunk's positions (row-major, ticksInChunk ×
+// vehicles) and its tick count, or io.EOF after the end-of-stream marker.
+// The returned slice is reused by the following Next call.
+func (cr *ChunkReader) Next() ([]geom.Point, int, error) {
+	if cr.done {
+		return nil, 0, io.EOF
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(cr.r, lenBuf[:]); err != nil {
+		return nil, 0, fmt.Errorf("trace: reading chunk length: %w", err)
+	}
+	ticksInChunk := int(binary.LittleEndian.Uint32(lenBuf[:]))
+	if ticksInChunk == 0 {
+		cr.done = true
+		return nil, 0, io.EOF
+	}
+	if ticksInChunk > cr.chunkTicks {
+		return nil, 0, fmt.Errorf("trace: chunk of %d ticks exceeds capacity %d", ticksInChunk, cr.chunkTicks)
+	}
+	n := ticksInChunk * cr.vehicles
+	if cap(cr.scratch) < n*16 {
+		cr.scratch = make([]byte, n*16)
+	}
+	raw := cr.scratch[:n*16]
+	if _, err := io.ReadFull(cr.r, raw); err != nil {
+		return nil, 0, fmt.Errorf("trace: reading chunk body: %w", err)
+	}
+	if cap(cr.buf) < n {
+		cr.buf = make([]geom.Point, n)
+	}
+	pts := cr.buf[:n]
+	for i := range pts {
+		pts[i].X = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*16:]))
+		pts[i].Y = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*16+8:]))
+	}
+	return pts, ticksInChunk, nil
+}
+
+// Encode streams the trace through a ChunkWriter onto w, preserving the
+// trace's chunk capacity.
+func (tr *Trace) Encode(w io.Writer) error {
+	cw := NewChunkWriter(w, tr.DT, tr.vehicles, tr.chunkTicks)
+	for t := 0; t < tr.ticks; t++ {
+		copy(cw.AppendRow(), tr.Row(t))
+	}
+	return cw.Close()
+}
+
+// ReadTrace materializes a streamed trace back into memory.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	cr, err := NewChunkReader(r)
+	if err != nil {
+		return nil, err
+	}
+	tr := NewChunked(cr.DT(), cr.NumVehicles(), cr.ChunkTicks())
+	for {
+		pts, ticksInChunk, err := cr.Next()
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		for t := 0; t < ticksInChunk; t++ {
+			copy(tr.AppendRow(), pts[t*cr.NumVehicles():(t+1)*cr.NumVehicles()])
+		}
+	}
+}
