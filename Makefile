@@ -10,15 +10,15 @@ STATICCHECK_VERSION ?= 2025.1
 # cmd/bench-compare diffs a candidate file against the committed
 # $(BENCH_BASELINE) and fails on >15% ns/op regressions for the hot paths,
 # then prints the per-benchmark trend across the history file.
-BENCH_BASELINE ?= BENCH_PR6.json
+BENCH_BASELINE ?= BENCH_PR7.json
 BENCH_JSON ?= $(BENCH_BASELINE)
 BENCH_HISTORY ?= BENCH_HISTORY.jsonl
 BENCH_LABEL ?= local
-BENCH_FILTER := BenchmarkCandidatePairs|BenchmarkWorldTick|BenchmarkBEV|BenchmarkShardScan|BenchmarkEnsureCoreset|BenchmarkAbsorbCoreset
-BENCH_HOT := CandidatePairs,WorldTick,ShardScan,EnsureCoreset,AbsorbCoreset
-BENCH_PKGS := ./internal/core/ ./internal/world/ ./internal/shard/
+BENCH_FILTER := BenchmarkCandidatePairs|BenchmarkWorldTick|BenchmarkBEV|BenchmarkShardScan|BenchmarkEnsureCoreset|BenchmarkAbsorbCoreset|BenchmarkWindowAdvance|BenchmarkWindowRowAt
+BENCH_HOT := CandidatePairs,WorldTick,ShardScan,EnsureCoreset,AbsorbCoreset,WindowRowAt
+BENCH_PKGS := ./internal/core/ ./internal/world/ ./internal/shard/ ./internal/trace/
 
-.PHONY: build vet lint test race bench bench-json bench-compare bench-pprof scale-smoke telemetry-smoke doccheck ci
+.PHONY: build vet lint test race bench bench-json bench-compare bench-pprof scale-smoke telemetry-smoke stream-smoke doccheck ci
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,20 @@ telemetry-smoke:
 	$(GO) run ./cmd/telemetry-lint $(TMPDIR_SMOKE)/events.jsonl
 	rm -rf $(TMPDIR_SMOKE)
 
+# A/B check of the streaming trace engine under the race detector: the same
+# small co-simulation runs once resident and once through the bounded
+# sliding-window source (-stream-trace), and the two telemetry event streams
+# must be byte-identical — chunk traffic flows through a side channel, never
+# the event stream.
+stream-smoke:
+	$(eval TMPDIR_STREAM := $(shell mktemp -d))
+	$(GO) run -race ./cmd/lbchat-sim -scale test -vehicles 4 -duration 120 \
+		-telemetry-out $(TMPDIR_STREAM)/resident.jsonl > /dev/null
+	$(GO) run -race ./cmd/lbchat-sim -scale test -vehicles 4 -duration 120 \
+		-stream-trace -telemetry-out $(TMPDIR_STREAM)/streamed.jsonl > /dev/null
+	cmp $(TMPDIR_STREAM)/resident.jsonl $(TMPDIR_STREAM)/streamed.jsonl
+	rm -rf $(TMPDIR_STREAM)
+
 # Every internal package must carry its godoc in a dedicated doc.go opening
 # with the canonical "// Package <name>" sentence.
 doccheck:
@@ -97,4 +111,4 @@ doccheck:
 		fi; \
 	done; exit $$fail
 
-ci: build vet doccheck lint test race telemetry-smoke
+ci: build vet doccheck lint test race telemetry-smoke stream-smoke

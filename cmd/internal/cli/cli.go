@@ -1,12 +1,13 @@
 // Package cli collects the flag handling shared by the lbchat commands so
-// -seed, -workers, -shards, -scale, -faults, and -telemetry-out parse and
-// behave identically everywhere.
+// -seed, -workers, -shards, -scale, -faults, -telemetry-out, -stream-trace,
+// and -trace-file parse and behave identically everywhere.
 package cli
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -15,6 +16,7 @@ import (
 	"lbchat/internal/faults"
 	"lbchat/internal/telemetry"
 	"lbchat/internal/tensor"
+	"lbchat/internal/trace"
 )
 
 // Common holds the parsed shared flags.
@@ -38,6 +40,14 @@ type Common struct {
 	// FaultsName names the fault-injection profile (-faults): off, light,
 	// heavy (internal/faults). Resolve it with Faults.
 	FaultsName string
+	// StreamTrace drives engine runs from a bounded sliding-window trace
+	// source (-stream-trace) instead of holding the whole mobility trace
+	// resident. Results are bit-identical either way.
+	StreamTrace bool
+	// TraceFile loads the mobility trace from this LBTC file (-trace-file,
+	// e.g. a worldgen -trace-out recording) instead of recording one; the
+	// vehicle count is taken from the file. Resolve it with ApplyTrace.
+	TraceFile string
 
 	fs *flag.FlagSet
 }
@@ -56,6 +66,10 @@ func Register(fs *flag.FlagSet) *Common {
 		"write the run's telemetry event stream as JSONL to this file")
 	fs.StringVar(&c.FaultsName, "faults", "off",
 		"fault-injection profile: off, light, or heavy (burst loss, window truncation, churn, corruption)")
+	fs.BoolVar(&c.StreamTrace, "stream-trace", false,
+		"stream the mobility trace through a bounded sliding window instead of holding it resident; results are bit-identical")
+	fs.StringVar(&c.TraceFile, "trace-file", "",
+		"load the mobility trace from this LBTC file (see worldgen -trace-out) instead of recording one")
 	return c
 }
 
@@ -77,8 +91,58 @@ func (c *Common) Scale() (experiments.Scale, error) {
 	}
 	scale.Workers = c.Workers
 	scale.Shards = c.Shards
+	scale.StreamTrace = c.StreamTrace
 	tensor.SetWorkers(c.Workers)
 	return scale, nil
+}
+
+// OpenTrace opens an LBTC mobility-trace file as an engine-ready source:
+// fully resident when stream is false, or a bounded sliding window that
+// pages chunks on demand when stream is true. The returned closer releases
+// the file handle and must be closed after the run (it is never nil).
+func OpenTrace(path string, stream bool) (trace.Source, io.Closer, error) {
+	if stream {
+		src, closer, err := trace.OpenWindowFile(path, trace.WindowConfig{Prefetch: true})
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening trace window %s: %w", path, err)
+		}
+		return src, closer, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening trace: %w", err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadTrace(f)
+	if err != nil {
+		return nil, nil, fmt.Errorf("reading trace %s: %w", path, err)
+	}
+	return tr, nopCloser{}, nil
+}
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }
+
+// ApplyTrace resolves -trace-file onto the scale: the LBTC file is opened
+// through OpenTrace (resident or windowed per -stream-trace), installed as
+// the scale's trace source, and the scale's vehicle count is taken from the
+// file — overriding any -vehicles setting, which only sizes recorded
+// traces. The returned closer must be closed after the run; without
+// -trace-file it is a no-op and the scale is untouched.
+func (c *Common) ApplyTrace(scale *experiments.Scale) (io.Closer, error) {
+	if c.TraceFile == "" {
+		return nopCloser{}, nil
+	}
+	src, closer, err := OpenTrace(c.TraceFile, c.StreamTrace)
+	if err != nil {
+		return nil, err
+	}
+	scale.TraceSource = src
+	scale.TracePath = c.TraceFile
+	scale.Vehicles = src.NumVehicles()
+	scale.TraceTicks = src.NumTicks()
+	return closer, nil
 }
 
 // flagSet reports whether the named flag was given explicitly.

@@ -58,6 +58,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	traceCloser, err := common.ApplyTrace(&scale)
+	if err != nil {
+		return err
+	}
+	defer traceCloser.Close()
 	sink, err := common.OpenSink()
 	if err != nil {
 		return err
@@ -96,6 +101,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer env.Close()
 	env.Cfg.Faults = fcfg
 	fmt.Printf("-- environment built in %s\n", time.Since(buildStart).Round(time.Millisecond))
 

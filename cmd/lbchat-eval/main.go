@@ -48,6 +48,11 @@ func run() error {
 	scale.Vehicles = *vehicles
 	scale.TrainDuration = *duration
 	scale.EvalTrials = *trials
+	traceCloser, err := common.ApplyTrace(&scale)
+	if err != nil {
+		return err
+	}
+	defer traceCloser.Close()
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
@@ -57,6 +62,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer env.Close()
 	var fleet []*model.Policy
 	if *loadDir != "" {
 		blobs, err := filepath.Glob(filepath.Join(*loadDir, "*.lbp"))

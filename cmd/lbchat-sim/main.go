@@ -36,6 +36,7 @@ func run() error {
 		"protocol: LbChat, ProxSkip, RSU-L, DFL-DDS, DP, SCO, LbChat-EqualComp, LbChat-AvgAgg")
 	vehicles := flag.Int("vehicles", 8, "expert fleet size")
 	duration := flag.Float64("duration", 1800, "virtual training duration (s)")
+	traceTicks := flag.Int("trace-ticks", 0, "mobility-trace length in 0.5s ticks (0 = the scale's default)")
 	lossy := flag.Bool("wireless-loss", false, "enable the distance-based wireless loss model")
 	logChats := flag.Bool("log-chats", false, "trace every pairwise chat decision to stderr")
 	saveDir := flag.String("save-fleet", "", "directory to write the trained fleet's model blobs into")
@@ -49,6 +50,14 @@ func run() error {
 	}
 	scale.Vehicles = *vehicles
 	scale.TrainDuration = *duration
+	if *traceTicks > 0 {
+		scale.TraceTicks = *traceTicks
+	}
+	traceCloser, err := common.ApplyTrace(&scale)
+	if err != nil {
+		return err
+	}
+	defer traceCloser.Close()
 
 	sink, err := common.OpenSink()
 	if err != nil {

@@ -5,8 +5,13 @@
 //
 // Usage:
 //
-//	worldgen                  # map stats + ASCII render
-//	worldgen -trace 3600      # also record a trace and report encounters
+//	worldgen                                # map stats + ASCII render
+//	worldgen -trace 3600                    # also record a trace and report encounters
+//	worldgen -trace 3600 -trace-out t.lbtc  # save the recording as an LBTC stream
+//
+// A saved LBTC trace feeds the lbchat commands' -trace-file flag, so one
+// recording can drive many runs (streamed through a bounded window with
+// -stream-trace, or loaded resident).
 package main
 
 import (
@@ -30,6 +35,7 @@ func main() {
 
 func run() error {
 	traceTicks := flag.Int("trace", 0, "record a mobility trace of this many 0.5s ticks and report encounter statistics")
+	traceOut := flag.String("trace-out", "", "write the recorded trace to this LBTC file (for the lbchat commands' -trace-file)")
 	vehicles := flag.Int("vehicles", 8, "expert vehicles for the trace")
 	seed := flag.Uint64("seed", 7, "root random seed")
 	flag.Parse()
@@ -55,6 +61,9 @@ func run() error {
 	fmt.Println(renderASCII(m, 60, 30))
 
 	if *traceTicks <= 0 {
+		if *traceOut != "" {
+			return fmt.Errorf("-trace-out needs -trace to set the recording length")
+		}
 		return nil
 	}
 	wl, err := world.New(m, world.SpawnConfig{
@@ -65,6 +74,21 @@ func run() error {
 	}
 	fmt.Printf("Recording %d ticks of mobility for %d vehicles...\n", *traceTicks, *vehicles)
 	tr := trace.Record(wl, *traceTicks, 0.5)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		err = tr.Encode(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(*traceOut)
+			return fmt.Errorf("writing %s: %w", *traceOut, err)
+		}
+		fmt.Printf("Wrote %d-tick LBTC trace to %s\n", tr.NumTicks(), *traceOut)
+	}
 
 	// Encounter statistics at a few ranges.
 	for _, rng := range []float64{150, 250, 500} {

@@ -158,9 +158,13 @@ func (p *RSUL) visit(e *core.Engine, v *core.Vehicle, rsu int) {
 }
 
 // contactWindow estimates how long the vehicle remains within radio range
-// of the RSU, capped at 120 s.
+// of the RSU, capped at 120 s — clamped to the engine's ContactHorizon so
+// the scan never reads past the span a sliding-window trace reserves.
 func (p *RSUL) contactWindow(e *core.Engine, vid int, rsuPos geom.Point) float64 {
-	const window = 120.0
+	window := 120.0
+	if h := e.Cfg.ContactHorizon; h > 0 && h < window {
+		window = h
+	}
 	now := e.Now()
 	maxRange := e.Radio.Params.MaxRangeMeters
 	for dt := 0.0; dt < window; dt += 2 {

@@ -124,6 +124,12 @@ type Config struct {
 	// keeps today's single-index path; any value produces bit-identical
 	// results — sharding changes only how the scan is scheduled.
 	Shards int
+	// TraceWindowBehind is the trailing slack (s) a bounded sliding-window
+	// trace source retains behind the engine cursor (DESIGN.md §12). The
+	// engine reserves its own leading span (ContactHorizon + TimeBudget)
+	// automatically; this knob only affects memory, never results, and 0
+	// takes the trace package default. Ignored for resident traces.
+	TraceWindowBehind float64
 	// Model configures the policy architecture.
 	Model model.Config
 }
@@ -238,9 +244,13 @@ type Protocol interface {
 type Engine struct {
 	Cfg      Config
 	Vehicles []*Vehicle
-	Trace    *trace.Trace
-	Radio    *radio.Model
-	Probe    []dataset.Weighted
+	// Trace is the fleet mobility source: a resident *trace.Trace or a
+	// bounded sliding *trace.Window. The engine advances it once per tick
+	// and only ever reads [now, now + ContactHorizon + TimeBudget], which
+	// is the span it reserves on windowed sources.
+	Trace trace.Source
+	Radio *radio.Model
+	Probe []dataset.Weighted
 
 	// LossCurve is the average probe loss over time.
 	LossCurve metrics.Curve
@@ -298,7 +308,13 @@ type stepOutcome struct {
 // NewEngine builds a fleet over the given mobility trace and local datasets.
 // All vehicles start from an identical model initialization (the paper's
 // assumption) but distinct random streams.
-func NewEngine(cfg Config, tr *trace.Trace, datasets []*dataset.Dataset, rm *radio.Model, probe []dataset.Weighted) (*Engine, error) {
+//
+// The trace may be resident or a bounded sliding window (trace.Source);
+// windowed sources are reserved to the engine's lookahead — ContactHorizon
+// plus TimeBudget past the cursor — and advanced once per tick, so results
+// are bit-identical either way while a streamed run's trace working set
+// stays O(window) chunks.
+func NewEngine(cfg Config, tr trace.Source, datasets []*dataset.Dataset, rm *radio.Model, probe []dataset.Weighted) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -329,6 +345,26 @@ func NewEngine(cfg Config, tr *trace.Trace, datasets []*dataset.Dataset, rm *rad
 	}
 	if e.tel != nil {
 		e.contactOpen = make(map[[2]int]float64)
+	}
+	if w, ok := tr.(trace.Windowed); ok {
+		// The engine's deepest lookahead past the cursor: a contact scan
+		// reaches ContactHorizon ahead and an in-flight transfer samples
+		// distances up to its deadline (≤ TimeBudget) past its start, with
+		// one tick of slack for the snap-to-tick clamp.
+		w.Reserve(cfg.TraceWindowBehind, cfg.ContactHorizon+cfg.TimeBudget+cfg.TickSeconds)
+		if obs, ok := e.tel.(telemetry.TraceObserver); ok {
+			w.SetChunkObserver(func(op trace.ChunkOp) {
+				obs.ObserveTraceChunk(telemetry.TraceChunk{
+					Op:       op.Kind.String(),
+					Chunk:    op.Chunk,
+					Ticks:    op.Ticks,
+					Resident: op.Resident,
+				})
+			})
+		}
+		if err := w.Advance(0); err != nil {
+			return nil, fmt.Errorf("core: loading initial trace window: %w", err)
+		}
 	}
 	if cfg.Faults.Enabled() {
 		e.faults = faults.NewInjector(cfg.Faults, root.Derive("faults"), tr.NumVehicles())
@@ -374,7 +410,22 @@ func (e *Engine) Run(p Protocol, duration float64) error {
 // ctx.Err() with its state (loss curve, vehicles, receive stats) intact and
 // consistent up to the last completed tick, so callers can surface a partial
 // result.
-func (e *Engine) RunContext(ctx context.Context, p Protocol, duration float64) error {
+//
+// A windowed trace source is advanced to the cursor tick before each step;
+// a chunk decode failure aborts the run with the position-annotated error,
+// and a lookup that escapes the reserved window (a *trace.WindowViolation
+// panic from the strict-window path) is returned as an error rather than
+// crashing the process.
+func (e *Engine) RunContext(ctx context.Context, p Protocol, duration float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if v, ok := r.(*trace.WindowViolation); ok {
+				err = fmt.Errorf("core: trace lookup escaped the reserved window at t=%gs: %w", e.now, v)
+				return
+			}
+			panic(r)
+		}
+	}()
 	if err := p.Setup(e); err != nil {
 		return fmt.Errorf("core: protocol %s setup: %w", p.Name(), err)
 	}
@@ -384,6 +435,9 @@ func (e *Engine) RunContext(ctx context.Context, p Protocol, duration float64) e
 	for e.now < duration {
 		if err := ctx.Err(); err != nil {
 			e.closeContacts()
+			return err
+		}
+		if err := e.advanceTrace(); err != nil {
 			return err
 		}
 		e.Events.RunUntil(e.now)
@@ -400,6 +454,19 @@ func (e *Engine) RunContext(ctx context.Context, p Protocol, duration float64) e
 	e.Events.RunUntil(duration)
 	e.recordLoss()
 	e.closeContacts()
+	return nil
+}
+
+// advanceTrace moves a windowed trace source's cursor to the current tick.
+// Resident traces make this a no-op.
+func (e *Engine) advanceTrace() error {
+	dt := e.Trace.DT()
+	if dt <= 0 {
+		return nil
+	}
+	if err := e.Trace.Advance(int(e.now / dt)); err != nil {
+		return fmt.Errorf("core: advancing trace window to t=%gs: %w", e.now, err)
+	}
 	return nil
 }
 
@@ -446,10 +513,9 @@ func (e *Engine) scanContacts() {
 		}
 		return
 	}
-	pts := e.spatialPts[:0]
-	for i := range e.Vehicles {
-		pts = append(pts, e.Trace.At(i, e.now))
-	}
+	// One contiguous row read covers every vehicle this tick; the copy into
+	// scratch keeps the slice valid across the window's next Advance.
+	pts := append(e.spatialPts[:0], e.Trace.RowAt(e.now)...)
 	e.spatialPts = pts
 	inRange := e.rangePairs(pts, maxRange)
 	open := e.openScratch[:0]

@@ -51,9 +51,11 @@ func (e *Engine) CandidatePairs(score func(a, b int) float64) []CandidatePair {
 		}
 		return out
 	}
+	// One contiguous row read serves every free vehicle's position.
+	row := e.Trace.RowAt(now)
 	pts := e.spatialPts[:0]
 	for _, id := range free {
-		pts = append(pts, e.Trace.At(id, now))
+		pts = append(pts, row[id])
 	}
 	e.spatialPts = pts
 	for _, pr := range e.rangePairs(pts, maxRange) {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"os"
 
 	"lbchat/internal/baselines"
 	"lbchat/internal/bev"
@@ -57,6 +59,21 @@ type Scale struct {
 	// (core.Config.Shards); 0 or 1 keeps the single-index path. Output is
 	// bit-identical at any setting.
 	Shards int
+	// StreamTrace drives engine runs from a bounded sliding-window trace
+	// source instead of the resident columnar trace (DESIGN.md §12).
+	// Without a TracePath the recorded trace is spilled to a temporary
+	// LBTC file (removed by Env.Close); results are bit-identical either
+	// way — streaming only bounds the trace working set.
+	StreamTrace bool
+	// TracePath, when set, loads the mobility trace from this LBTC file
+	// (e.g. a worldgen -trace-out recording) instead of recording one from
+	// the world. The file's vehicle count must match Vehicles.
+	TracePath string
+	// TraceSource, when non-nil, is a pre-opened mobility source supplied
+	// by the caller (cli.OpenTrace); it overrides recording and TracePath
+	// loading. Streamed runs still reopen fresh windows from TracePath,
+	// since a window's cursor only moves forward.
+	TraceSource trace.Source
 }
 
 // TestScale is a minimal configuration for unit tests.
@@ -100,9 +117,13 @@ func FullScale() Scale {
 
 // Env is the shared workload every protocol runs against.
 type Env struct {
-	Scale    Scale
-	Map      *world.Map
-	Trace    *trace.Trace
+	Scale Scale
+	Map   *world.Map
+	// Trace is the env-level mobility source — resident, or a metadata
+	// window over the backing stream when the scale streams. Streamed
+	// protocol runs do not share it: each run opens a fresh window over
+	// streamPath (a window's cursor only moves forward).
+	Trace    trace.Source
 	Probe    []dataset.Weighted
 	Suite    *eval.Suite
 	Cfg      core.Config
@@ -114,6 +135,101 @@ type Env struct {
 	// sink sees a deterministic stream at any worker count. Per-run
 	// aggregate summaries (ProtocolRun.Comm) are collected regardless.
 	Telemetry telemetry.Sink
+
+	// streamPath is the LBTC file per-run windows reopen; empty for
+	// resident envs. ownsStream marks a temporary spill Close removes, and
+	// traceCloser owns the env-level window's file handle.
+	streamPath  string
+	ownsStream  bool
+	traceCloser io.Closer
+}
+
+// Close releases the env's trace resources: the env-level window's file
+// handle and, for spilled recordings, the temporary LBTC file. Safe to
+// call on resident envs and idempotent.
+func (e *Env) Close() error {
+	var first error
+	if e.traceCloser != nil {
+		first = e.traceCloser.Close()
+		e.traceCloser = nil
+	}
+	if e.ownsStream && e.streamPath != "" {
+		if err := os.Remove(e.streamPath); err != nil && first == nil {
+			first = err
+		}
+		e.ownsStream = false
+	}
+	return first
+}
+
+// envWindowConfig is how env-owned windows are opened: default spans (the
+// engine reserves its own lookahead) with background prefetch on.
+func envWindowConfig() trace.WindowConfig {
+	return trace.WindowConfig{Prefetch: true}
+}
+
+// buildTrace resolves the scale's mobility-trace source: a caller-supplied
+// source, an LBTC file, or a recording from the world (resident, or
+// spilled to a temporary stream when the scale streams). It returns the
+// env fields it populates.
+func buildTrace(scale Scale, w *world.World) (src trace.Source, streamPath string, owns bool, closer io.Closer, err error) {
+	switch {
+	case scale.TraceSource != nil:
+		src = scale.TraceSource
+		if scale.StreamTrace {
+			streamPath = scale.TracePath
+		}
+	case scale.TracePath != "":
+		if scale.StreamTrace {
+			var win *trace.Window
+			win, closer, err = trace.OpenWindowFile(scale.TracePath, envWindowConfig())
+			if err != nil {
+				return nil, "", false, nil, fmt.Errorf("experiments: opening trace window: %w", err)
+			}
+			src, streamPath = win, scale.TracePath
+		} else {
+			f, ferr := os.Open(scale.TracePath)
+			if ferr != nil {
+				return nil, "", false, nil, fmt.Errorf("experiments: opening trace: %w", ferr)
+			}
+			tr, rerr := trace.ReadTrace(f)
+			f.Close()
+			if rerr != nil {
+				return nil, "", false, nil, fmt.Errorf("experiments: reading trace %s: %w", scale.TracePath, rerr)
+			}
+			src = tr
+		}
+	case scale.StreamTrace:
+		// Record through a ChunkWriter straight to a temporary spill so
+		// the full trace is never resident, then open a window over it.
+		f, ferr := os.CreateTemp("", "lbchat-trace-*.lbtc")
+		if ferr != nil {
+			return nil, "", false, nil, fmt.Errorf("experiments: creating trace spill: %w", ferr)
+		}
+		streamPath, owns = f.Name(), true
+		cw := trace.NewChunkWriter(f, 0.5, len(w.Experts), trace.DefaultChunkTicks)
+		recErr := trace.RecordStream(w, scale.TraceTicks, 0.5, cw)
+		if cerr := cw.Close(); recErr == nil {
+			recErr = cerr
+		}
+		if cerr := f.Close(); recErr == nil {
+			recErr = cerr
+		}
+		if recErr != nil {
+			os.Remove(streamPath)
+			return nil, "", false, nil, fmt.Errorf("experiments: spilling trace: %w", recErr)
+		}
+		var win *trace.Window
+		win, closer, err = trace.OpenWindowFile(streamPath, envWindowConfig())
+		if err != nil {
+			os.Remove(streamPath)
+			return nil, "", false, nil, fmt.Errorf("experiments: reopening trace spill: %w", err)
+		}
+		src = win
+	default:
+		src = trace.Record(w, scale.TraceTicks, 0.5)
+	}
+	return src, streamPath, owns, closer, nil
 }
 
 // BuildEnv constructs the workload: generate the map, spawn the fleet,
@@ -142,11 +258,25 @@ func BuildEnv(scale Scale) (*Env, error) {
 	datasets := world.CollectDataset(w, ras, cfg.Model.NumWaypoints, scale.CollectTicks, 0.5)
 
 	// The paper records additional mobility (beyond the collection hour) to
-	// drive encounters; we keep stepping the same world.
-	tr := trace.Record(w, scale.TraceTicks, 0.5)
-
+	// drive encounters; we keep stepping the same world. RecordStream spills
+	// the identical positions when the scale streams, so streamed and
+	// resident envs see the same trajectories bit for bit.
+	tr, streamPath, owns, closer, err := buildTrace(scale, w)
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{
+		Scale: scale, Map: m, Trace: tr, Cfg: cfg, datasets: datasets,
+		streamPath: streamPath, ownsStream: owns, traceCloser: closer,
+	}
+	if tr.NumVehicles() != scale.Vehicles {
+		env.Close()
+		return nil, fmt.Errorf("experiments: trace has %d vehicles, scale %s wants %d",
+			tr.NumVehicles(), scale.Name, scale.Vehicles)
+	}
 	probe, err := eval.ProbeSet(m, bev.DefaultConfig(), cfg.Model.NumWaypoints, scale.ProbeFrames, scale.Seed+1000)
 	if err != nil {
+		env.Close()
 		return nil, fmt.Errorf("experiments: building probe: %w", err)
 	}
 	suite, err := eval.BuildSuite(m, eval.SuiteConfig{
@@ -154,12 +284,11 @@ func BuildEnv(scale Scale) (*Env, error) {
 		Seed:               scale.Seed + 2000,
 	})
 	if err != nil {
+		env.Close()
 		return nil, fmt.Errorf("experiments: building eval suite: %w", err)
 	}
-	return &Env{
-		Scale: scale, Map: m, Trace: tr, Probe: probe, Suite: suite,
-		Cfg: cfg, datasets: datasets,
-	}, nil
+	env.Probe, env.Suite = probe, suite
+	return env, nil
 }
 
 // FreshDatasets returns per-run dataset clones: protocols expand their local
@@ -304,8 +433,15 @@ func (e *Env) runProtocol(ctx context.Context, name ProtocolName, lossless bool,
 		sink = telemetry.Tee(sum, buf)
 	}
 	cfg.Telemetry = sink
+	src, srcCloser, err := e.openRunTrace()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: trace for %s: %w", name, err)
+	}
+	if srcCloser != nil {
+		defer srcCloser.Close()
+	}
 	sink.Emit(telemetry.RunStarted{Protocol: string(name), Lossless: lossless})
-	eng, err := core.NewEngine(cfg, e.Trace, e.FreshDatasets(), radio.NewModel(lossless), e.Probe)
+	eng, err := core.NewEngine(cfg, src, e.FreshDatasets(), radio.NewModel(lossless), e.Probe)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: engine for %s: %w", name, err)
 	}
@@ -329,6 +465,24 @@ func (e *Env) runProtocol(ctx context.Context, name ProtocolName, lossless bool,
 		run.Fleet = append(run.Fleet, v.Policy)
 	}
 	return run, nil
+}
+
+// openRunTrace returns the mobility source for one protocol run. Resident
+// envs share Env.Trace (and return a nil closer); streamed envs open a
+// fresh window over the backing stream, because a window's cursor is
+// forward-only and concurrent harness runs each need their own.
+func (e *Env) openRunTrace() (trace.Source, io.Closer, error) {
+	if e.streamPath != "" {
+		win, closer, err := trace.OpenWindowFile(e.streamPath, envWindowConfig())
+		if err != nil {
+			return nil, nil, err
+		}
+		return win, closer, nil
+	}
+	if _, windowed := e.Trace.(trace.Windowed); windowed {
+		return nil, nil, fmt.Errorf("experiments: windowed env trace has no backing stream to reopen")
+	}
+	return e.Trace, nil, nil
 }
 
 // flushRuns drains buffered per-run event streams into the Env's user

@@ -70,6 +70,11 @@ type Spec struct {
 	Duration float64
 	Workers  int
 	Shards   int
+	// StreamTrace drives engine runs from a bounded sliding-window trace
+	// source (Scale.StreamTrace); TracePath loads the mobility trace from
+	// an LBTC file (Scale.TracePath). Both are ignored when Env is set.
+	StreamTrace bool
+	TracePath   string
 	// Telemetry, when non-nil, receives every run's full event stream in
 	// deterministic order (see Env.Telemetry). The caller owns Close.
 	Telemetry telemetry.Sink
@@ -165,10 +170,20 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		if spec.Shards != 0 {
 			scale.Shards = spec.Shards
 		}
+		if spec.StreamTrace {
+			scale.StreamTrace = true
+		}
+		if spec.TracePath != "" {
+			scale.TracePath = spec.TracePath
+		}
 		var err error
 		if env, err = BuildEnv(scale); err != nil {
 			return nil, err
 		}
+		// Run owns the env it built: release trace resources (window file
+		// handles, temporary stream spills) once the experiment completes.
+		// Caller-supplied envs stay open — the caller closes them.
+		defer env.Close()
 	}
 	if spec.Telemetry != nil {
 		env.Telemetry = spec.Telemetry
@@ -313,6 +328,19 @@ func CommTable(runs []*ProtocolRun) *metrics.Table {
 		})
 		row("shard halo guests", func(r *ProtocolRun) float64 {
 			return float64(r.Comm.Reg.Counter(telemetry.MShardGuests))
+		})
+	}
+	// Streaming-trace rows appear only when a run was driven by a sliding
+	// window, so resident-trace reports render exactly as before.
+	if anyCount(telemetry.MTraceLoads) {
+		row("trace chunk loads", func(r *ProtocolRun) float64 {
+			return float64(r.Comm.Reg.Counter(telemetry.MTraceLoads))
+		})
+		row("trace chunk evicts", func(r *ProtocolRun) float64 {
+			return float64(r.Comm.Reg.Counter(telemetry.MTraceEvicts))
+		})
+		row("trace chunk prefetches", func(r *ProtocolRun) float64 {
+			return float64(r.Comm.Reg.Counter(telemetry.MTracePrefetches))
 		})
 	}
 	row("final probe loss (x1000)", func(r *ProtocolRun) float64 {

@@ -1,7 +1,10 @@
 // Package repolint holds repository-wide static checks that run as plain
 // go tests. Unlike external linters these need no module proxy access, so
-// they gate CI even on offline boxes. The current check walks every Go
-// file and rejects declarations that shadow predeclared identifiers (cap,
-// len, max, min, new, ...), which read as builtin calls at a glance and
-// break them for the rest of the scope.
+// they gate CI even on offline boxes. The current checks walk every Go
+// file and reject (1) declarations that shadow predeclared identifiers
+// (cap, len, max, min, new, ...), which read as builtin calls at a glance
+// and break them for the rest of the scope, and (2) function parameters
+// typed with the concrete trace.Trace or trace.Window outside the trace
+// package — consumers must accept trace.Source so resident and streamed
+// mobility sources stay interchangeable (DESIGN.md §12).
 package repolint

@@ -43,6 +43,27 @@ type ShardObserver interface {
 	ObserveShardScan(scan ShardScan)
 }
 
+// TraceChunk describes one streaming-trace window operation: a chunk load,
+// evict, or prefetch issue, with the window's resident chunk count after
+// the operation.
+type TraceChunk struct {
+	// Op is "load", "evict", or "prefetch".
+	Op string
+	// Chunk is the chunk's index in the stream; Ticks its tick count.
+	Chunk, Ticks int
+	// Resident is the retained chunk count after the operation.
+	Resident int
+}
+
+// TraceObserver receives streaming-trace chunk operations from the engine.
+// Like the other side channels it is a separate, optional interface — not
+// an Event — so streamed and resident runs produce byte-identical event
+// streams even though only one of them loads and evicts chunks.
+type TraceObserver interface {
+	// ObserveTraceChunk records one window chunk operation.
+	ObserveTraceChunk(op TraceChunk)
+}
+
 // MemorySink buffers every event in memory: the test sink, and the per-run
 // buffer the experiment harness uses to serialize concurrent runs into one
 // output stream.
@@ -95,6 +116,7 @@ type multiSink struct {
 	sinks  []Sink
 	walls  []WallObserver
 	shards []ShardObserver
+	traces []TraceObserver
 }
 
 // Tee returns a sink that forwards every event to all given sinks (nils are
@@ -121,6 +143,9 @@ func Tee(sinks ...Sink) Sink {
 		if o, ok := s.(ShardObserver); ok {
 			m.shards = append(m.shards, o)
 		}
+		if o, ok := s.(TraceObserver); ok {
+			m.traces = append(m.traces, o)
+		}
 	}
 	return m
 }
@@ -143,6 +168,13 @@ func (m *multiSink) ObserveTrainWall(nanos int64) {
 func (m *multiSink) ObserveShardScan(scan ShardScan) {
 	for _, o := range m.shards {
 		o.ObserveShardScan(scan)
+	}
+}
+
+// ObserveTraceChunk implements TraceObserver.
+func (m *multiSink) ObserveTraceChunk(op TraceChunk) {
+	for _, o := range m.traces {
+		o.ObserveTraceChunk(op)
 	}
 }
 

@@ -38,6 +38,11 @@ const (
 	MShardGuests = "shard.guests"
 	MShardLocals = "shard.locals"
 
+	MTraceLoads      = "trace.chunk_loads"
+	MTraceEvicts     = "trace.chunk_evicts"
+	MTracePrefetches = "trace.chunk_prefetches"
+	MTraceResident   = "trace.resident_chunks"
+
 	MFaultsInjected = "fault.injected"
 	MChatResumed    = "chat.resumed"
 	MResumeSavedB   = "chat.resume_saved_bytes"
@@ -53,8 +58,9 @@ var (
 	bytesEdges   = []float64{1e4, 1e5, 1e6, 5e6, 1e7, 5e7}
 	contactEdges = []float64{5, 15, 30, 60, 120, 300}
 	wPeerEdges   = []float64{0.1, 0.25, 0.4, 0.5, 0.6, 0.75, 0.9}
-	trainNsEdges = []float64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
-	localsEdges  = []float64{16, 64, 256, 1024, 4096, 16384}
+	trainNsEdges  = []float64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
+	localsEdges   = []float64{16, 64, 256, 1024, 4096, 16384}
+	residentEdges = []float64{1, 2, 3, 4, 6, 8, 16}
 )
 
 // Summary is the always-cheap aggregating sink: it folds the event stream
@@ -158,6 +164,21 @@ func (s *Summary) ObserveShardScan(scan ShardScan) {
 	s.Reg.Inc(MShardPairs, int64(scan.Pairs))
 	s.Reg.Inc(MShardGuests, int64(scan.Guests))
 	s.Reg.Observe(MShardLocals, localsEdges, float64(scan.Locals))
+}
+
+// ObserveTraceChunk implements TraceObserver: streaming-window chunk
+// traffic lives only in these aggregates, never in the event stream, so
+// streamed and resident runs emit byte-identical events.
+func (s *Summary) ObserveTraceChunk(op TraceChunk) {
+	switch op.Op {
+	case "load":
+		s.Reg.Inc(MTraceLoads, 1)
+	case "evict":
+		s.Reg.Inc(MTraceEvicts, 1)
+	case "prefetch":
+		s.Reg.Inc(MTracePrefetches, 1)
+	}
+	s.Reg.Observe(MTraceResident, residentEdges, float64(op.Resident))
 }
 
 // Close implements Sink (no-op).

@@ -12,4 +12,13 @@
 // one contiguous Row. ChunkWriter/ChunkReader stream the same chunks through
 // io.Writer/io.Reader (format "LBTC"), so 10k-vehicle recordings need not be
 // resident.
+//
+// Consumers address mobility through the Source interface, which Trace (the
+// resident store) and Window (a bounded sliding window over a ChunkReader)
+// both satisfy. A Window retains only the chunks covering [cursor−behind,
+// cursor+ahead], advanced by a monotone cursor, evicting behind and
+// optionally prefetching ahead; out-of-window reads panic with
+// *WindowViolation and decode failures surface as position-annotated
+// *ChunkError. Both implementations share the clamping and derived-query
+// code, so streamed and resident replays are bit-identical (DESIGN.md §12).
 package trace

@@ -155,29 +155,41 @@ type ChunkReader struct {
 	done       bool
 }
 
+// streamHeaderLen is the encoded size of the LBTC header.
+const streamHeaderLen = len(streamMagic) + 4 + 8 + 4 + 4
+
+// decodeStreamHeader parses and validates an encoded LBTC header.
+func decodeStreamHeader(head []byte) (dt float64, vehicles, chunkTicks int, err error) {
+	if string(head[:4]) != streamMagic {
+		return 0, 0, 0, fmt.Errorf("trace: bad stream magic %q", head[:4])
+	}
+	version := binary.LittleEndian.Uint32(head[4:])
+	if version != streamVersion {
+		return 0, 0, 0, fmt.Errorf("trace: unsupported stream version %d", version)
+	}
+	dt = math.Float64frombits(binary.LittleEndian.Uint64(head[8:]))
+	vehicles = int(binary.LittleEndian.Uint32(head[16:]))
+	chunkTicks = int(binary.LittleEndian.Uint32(head[20:]))
+	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
+		return 0, 0, 0, fmt.Errorf("trace: stream header carries invalid dt %g", dt)
+	}
+	if chunkTicks <= 0 {
+		return 0, 0, 0, fmt.Errorf("trace: stream header carries invalid chunk capacity %d", chunkTicks)
+	}
+	return dt, vehicles, chunkTicks, nil
+}
+
 // NewChunkReader parses the stream header and returns a reader positioned
 // at the first chunk.
 func NewChunkReader(r io.Reader) (*ChunkReader, error) {
 	br := bufio.NewReader(r)
-	head := make([]byte, len(streamMagic)+4+8+4+4)
+	head := make([]byte, streamHeaderLen)
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trace: reading stream header: %w", err)
 	}
-	if string(head[:4]) != streamMagic {
-		return nil, fmt.Errorf("trace: bad stream magic %q", head[:4])
-	}
-	version := binary.LittleEndian.Uint32(head[4:])
-	if version != streamVersion {
-		return nil, fmt.Errorf("trace: unsupported stream version %d", version)
-	}
-	dt := math.Float64frombits(binary.LittleEndian.Uint64(head[8:]))
-	vehicles := int(binary.LittleEndian.Uint32(head[16:]))
-	chunkTicks := int(binary.LittleEndian.Uint32(head[20:]))
-	if dt <= 0 || math.IsNaN(dt) || math.IsInf(dt, 0) {
-		return nil, fmt.Errorf("trace: stream header carries invalid dt %g", dt)
-	}
-	if chunkTicks <= 0 {
-		return nil, fmt.Errorf("trace: stream header carries invalid chunk capacity %d", chunkTicks)
+	dt, vehicles, chunkTicks, err := decodeStreamHeader(head)
+	if err != nil {
+		return nil, err
 	}
 	return &ChunkReader{r: br, dt: dt, vehicles: vehicles, chunkTicks: chunkTicks}, nil
 }
@@ -232,7 +244,7 @@ func (cr *ChunkReader) Next() ([]geom.Point, int, error) {
 // Encode streams the trace through a ChunkWriter onto w, preserving the
 // trace's chunk capacity.
 func (tr *Trace) Encode(w io.Writer) error {
-	cw := NewChunkWriter(w, tr.DT, tr.vehicles, tr.chunkTicks)
+	cw := NewChunkWriter(w, tr.dt, tr.vehicles, tr.chunkTicks)
 	for t := 0; t < tr.ticks; t++ {
 		copy(cw.AppendRow(), tr.Row(t))
 	}

@@ -22,11 +22,12 @@ const DefaultChunkTicks = 256
 // encounter scans iterate.
 //
 // Construct with New, FromRows, Record, or ReadTrace; the zero value is an
-// empty trace with an invalid DT.
+// empty trace with an invalid tick interval.
+//
+// Trace is the trivial whole-trace Source implementation: every tick is
+// resident, so Advance is free and At never fails.
 type Trace struct {
-	// DT is the tick interval in seconds.
-	DT float64
-
+	dt         float64
 	vehicles   int
 	chunkTicks int
 	ticks      int
@@ -49,7 +50,7 @@ func NewChunked(dt float64, vehicles, chunkTicks int) *Trace {
 	if vehicles < 0 {
 		vehicles = 0
 	}
-	return &Trace{DT: dt, vehicles: vehicles, chunkTicks: chunkTicks}
+	return &Trace{dt: dt, vehicles: vehicles, chunkTicks: chunkTicks}
 }
 
 // FromRows builds a trace from per-tick position rows (all rows must share
@@ -100,6 +101,27 @@ func Record(w *world.World, ticks int, dt float64) *Trace {
 	return tr
 }
 
+// RecordStream is Record writing through a ChunkWriter instead of building
+// a resident trace: identical world stepping, identical positions, but the
+// recording's working set is one chunk. The caller owns cw and must Close
+// it to flush the tail chunk.
+func RecordStream(w *world.World, ticks int, dt float64, cw *ChunkWriter) error {
+	for t := 0; t < ticks; t++ {
+		w.Step(dt)
+		row := cw.AppendRow()
+		if row == nil {
+			return fmt.Errorf("trace: stream writer failed at tick %d: %w", t, cw.Close())
+		}
+		for i, v := range w.Experts {
+			row[i] = v.Pos()
+		}
+	}
+	return nil
+}
+
+// DT returns the tick interval in seconds.
+func (tr *Trace) DT() float64 { return tr.dt }
+
 // NumTicks returns the number of recorded ticks.
 func (tr *Trace) NumTicks() int { return tr.ticks }
 
@@ -115,16 +137,27 @@ func (tr *Trace) NumVehicles() int {
 func (tr *Trace) ChunkTicks() int { return tr.chunkTicks }
 
 // Duration returns the trace's covered time span in seconds.
-func (tr *Trace) Duration() float64 { return float64(tr.ticks) * tr.DT }
+func (tr *Trace) Duration() float64 { return float64(tr.ticks) * tr.dt }
+
+// Advance is the Source window contract; a resident trace keeps every tick
+// loaded, so it is a no-op.
+func (tr *Trace) Advance(tick int) error { return nil }
 
 // tickFor clamps a time to the trace extent and snaps it to a tick.
 func (tr *Trace) tickFor(t float64) int {
-	tick := int(t / tr.DT)
+	return clampTick(t, tr.dt, tr.ticks)
+}
+
+// clampTick snaps a time to a tick index, clamped to [0, ticks-1]. It is
+// the one place this arithmetic lives so every Source implementation snaps
+// identically — bit-identical A/B streams depend on it.
+func clampTick(t, dt float64, ticks int) int {
+	tick := int(t / dt)
 	if tick < 0 {
 		tick = 0
 	}
-	if tick >= tr.ticks {
-		tick = tr.ticks - 1
+	if tick >= ticks {
+		tick = ticks - 1
 	}
 	return tick
 }
@@ -167,16 +200,7 @@ func (tr *Trace) Distance(a, b int, t float64) float64 {
 
 // Neighbors returns the vehicles within commRange of vehicle v at time t.
 func (tr *Trace) Neighbors(v int, t float64, commRange float64) []int {
-	var out []int
-	for o := 0; o < tr.NumVehicles(); o++ {
-		if o == v {
-			continue
-		}
-		if tr.Distance(v, o, t) <= commRange {
-			out = append(out, o)
-		}
-	}
-	return out
+	return sourceNeighbors(tr, v, t, commRange)
 }
 
 // ContactDuration estimates how long vehicles a and b will remain within
@@ -184,27 +208,15 @@ func (tr *Trace) Neighbors(v int, t float64, commRange float64) []int {
 // (the paper's vehicles exchange their next-few-minutes routes from the
 // navigation service). The estimate is capped at horizon seconds.
 func (tr *Trace) ContactDuration(a, b int, t, commRange, horizon float64) float64 {
-	if tr.Distance(a, b, t) > commRange {
-		return 0
-	}
-	end := t + horizon
-	if traceEnd := tr.Duration(); end > traceEnd {
-		end = traceEnd
-	}
-	for u := t; u < end; u += tr.DT {
-		if tr.Distance(a, b, u) > commRange {
-			return u - t
-		}
-	}
-	return end - t
+	return sourceContactDuration(tr, a, b, t, commRange, horizon)
 }
 
 // Validate performs basic structural checks. The columnar layout makes
 // ragged ticks unconstructible through the API, so the remaining checks are
 // on the scalar invariants.
 func (tr *Trace) Validate() error {
-	if tr.DT <= 0 {
-		return fmt.Errorf("trace: non-positive tick interval %g", tr.DT)
+	if tr.dt <= 0 {
+		return fmt.Errorf("trace: non-positive tick interval %g", tr.dt)
 	}
 	if tr.ticks > 0 && tr.chunkTicks <= 0 {
 		return fmt.Errorf("trace: non-positive chunk capacity %d", tr.chunkTicks)

@@ -45,9 +45,9 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	if tr.Validate() == nil {
 		t.Error("truncated chunk accepted")
 	}
-	tr2 := &Trace{DT: 0}
+	tr2 := &Trace{}
 	if tr2.Validate() == nil {
-		t.Error("zero DT accepted")
+		t.Error("zero tick interval accepted")
 	}
 }
 
@@ -129,7 +129,7 @@ func TestContactDuration(t *testing.T) {
 func TestContactDurationHorizonCap(t *testing.T) {
 	tr := record(t, 2, 1000)
 	d := tr.ContactDuration(0, 1, 0, 1e9, 30)
-	if math.Abs(d-30) > tr.DT {
+	if math.Abs(d-30) > tr.DT() {
 		t.Errorf("infinite-range contact should cap at horizon: %v", d)
 	}
 }
@@ -176,7 +176,7 @@ func TestChunkBoundaries(t *testing.T) {
 			if got[v] != rows[tick][v] {
 				t.Fatalf("Row(%d)[%d] = %v, want %v", tick, v, got[v], rows[tick][v])
 			}
-			if at := tr.At(v, float64(tick)*tr.DT); at != rows[tick][v] {
+			if at := tr.At(v, float64(tick)*tr.DT()); at != rows[tick][v] {
 				t.Fatalf("At(%d, tick %d) = %v, want %v", v, tick, at, rows[tick][v])
 			}
 		}
@@ -216,8 +216,8 @@ func TestStreamRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.DT != tr.DT || got.NumTicks() != tr.NumTicks() || got.NumVehicles() != tr.NumVehicles() {
-		t.Fatalf("round-trip shape: dt %v ticks %d vehicles %d", got.DT, got.NumTicks(), got.NumVehicles())
+	if got.DT() != tr.DT() || got.NumTicks() != tr.NumTicks() || got.NumVehicles() != tr.NumVehicles() {
+		t.Fatalf("round-trip shape: dt %v ticks %d vehicles %d", got.DT(), got.NumTicks(), got.NumVehicles())
 	}
 	for tick := 0; tick < tr.NumTicks(); tick++ {
 		a, b := tr.Row(tick), got.Row(tick)
@@ -266,7 +266,7 @@ func TestStreamWriterIncremental(t *testing.T) {
 	// byte.
 	tr := record(t, 3, 30)
 	var direct bytes.Buffer
-	cw := NewChunkWriter(&direct, tr.DT, tr.NumVehicles(), tr.ChunkTicks())
+	cw := NewChunkWriter(&direct, tr.DT(), tr.NumVehicles(), tr.ChunkTicks())
 	for tick := 0; tick < tr.NumTicks(); tick++ {
 		copy(cw.AppendRow(), tr.Row(tick))
 	}

@@ -1,0 +1,534 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"lbchat/internal/geom"
+)
+
+// Default retained span around the window cursor, in seconds. The engine
+// widens the leading side to its actual lookahead (ContactHorizon plus the
+// transfer time budget) via Reserve; the defaults only need to cover
+// consumers that never call Reserve.
+const (
+	DefaultWindowBehind = 30.0
+	DefaultWindowAhead  = 150.0
+)
+
+// WindowConfig sizes a sliding window.
+type WindowConfig struct {
+	// Behind and Ahead are the retained span around the cursor in
+	// seconds. Non-positive values take the package defaults.
+	Behind float64
+	Ahead  float64
+	// Prefetch reads the chunk just past the leading edge on a background
+	// goroutine so a steady-state Advance rarely blocks on decode. It
+	// never changes results or the telemetry event stream — chunk
+	// operations are reported through the side-channel observer only, and
+	// always from the Advance goroutine.
+	Prefetch bool
+}
+
+// ChunkOpKind classifies a window chunk operation.
+type ChunkOpKind uint8
+
+const (
+	// OpLoad: a chunk was decoded and added to the retained window.
+	OpLoad ChunkOpKind = iota
+	// OpEvict: a chunk fell behind the trailing edge and was recycled.
+	OpEvict
+	// OpPrefetch: a background read of the next chunk was issued.
+	OpPrefetch
+)
+
+// String names the operation for telemetry labels.
+func (k ChunkOpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpEvict:
+		return "evict"
+	case OpPrefetch:
+		return "prefetch"
+	}
+	return fmt.Sprintf("ChunkOpKind(%d)", uint8(k))
+}
+
+// ChunkOp describes one window chunk operation for the side-channel
+// observer: which chunk, how many ticks it covers, and how many chunks the
+// window retains after the operation.
+type ChunkOp struct {
+	Kind     ChunkOpKind
+	Chunk    int
+	Ticks    int
+	Resident int
+}
+
+// WindowViolation is the panic value raised when a lookup reaches outside
+// the retained window — the strict-window error path. It means the
+// consumer's Reserve span does not cover its actual lookahead (or it
+// forgot to Advance), which must fail loudly instead of silently loading
+// the trace resident.
+type WindowViolation struct {
+	// Tick is the out-of-window tick that was requested; Lo and Hi bound
+	// the retained ticks and Cursor is the last Advance position.
+	Tick, Lo, Hi, Cursor int
+}
+
+func (v *WindowViolation) Error() string {
+	return fmt.Sprintf("trace: tick %d outside retained window [%d, %d] (cursor at tick %d)",
+		v.Tick, v.Lo, v.Hi, v.Cursor)
+}
+
+// ChunkError annotates a chunk decode failure with its stream position so
+// mid-stream corruption reports where the trace broke, not just how.
+type ChunkError struct {
+	// Chunk is the chunk index in the stream; FirstTick the first tick it
+	// covers.
+	Chunk, FirstTick int
+	// Err is the underlying decode error.
+	Err error
+}
+
+func (e *ChunkError) Error() string {
+	return fmt.Sprintf("trace: chunk %d (first tick %d): %v", e.Chunk, e.FirstTick, e.Err)
+}
+
+func (e *ChunkError) Unwrap() error { return e.Err }
+
+// prefetched carries a background chunk read back to Advance.
+type prefetched struct {
+	pts []geom.Point
+	err error
+}
+
+// Window is a bounded sliding-window Source over a ChunkReader: it keeps
+// only the chunks covering [cursor−Behind, cursor+Ahead], evicting behind
+// the cursor and loading (or prefetching) ahead, so a full co-simulation's
+// trace working set is O(window) chunks regardless of trace length.
+//
+// The cursor moves forward only: Advance must be called with
+// non-decreasing ticks, and lookups outside the retained span panic with
+// *WindowViolation. Window methods are not safe for concurrent use — the
+// engine reads positions only from its serial tick phases, which is what
+// makes the single-goroutine contract (plus the internal prefetch
+// handshake) sound.
+type Window struct {
+	cr         *ChunkReader
+	totalTicks int
+	dt         float64
+	vehicles   int
+	chunkTicks int
+	numChunks  int
+
+	behindTicks int
+	aheadTicks  int
+	prefetch    bool
+
+	advanced bool
+	cursor   int
+	lo       int // first retained chunk index
+	next     int // next chunk index the reader will yield; retained = [lo, next)
+	chunks   [][]geom.Point
+	free     [][]geom.Point
+	pending  chan prefetched // outstanding background read of chunk `next`
+	onOp     func(ChunkOp)
+	err      error // sticky load error; poisons the window
+
+	loads, evicts, prefetches int
+}
+
+// NewWindow wraps a positioned ChunkReader (fresh from NewChunkReader) in
+// a sliding window over totalTicks ticks. The LBTC header does not carry a
+// total tick count, so the caller supplies it — from the recorder that
+// produced the stream, or via CountTicks over a seekable file.
+func NewWindow(cr *ChunkReader, totalTicks int, cfg WindowConfig) *Window {
+	if totalTicks < 0 {
+		totalTicks = 0
+	}
+	if cfg.Behind <= 0 {
+		cfg.Behind = DefaultWindowBehind
+	}
+	if cfg.Ahead <= 0 {
+		cfg.Ahead = DefaultWindowAhead
+	}
+	w := &Window{
+		cr:         cr,
+		totalTicks: totalTicks,
+		dt:         cr.DT(),
+		vehicles:   cr.NumVehicles(),
+		chunkTicks: cr.ChunkTicks(),
+		prefetch:   cfg.Prefetch,
+	}
+	w.numChunks = (totalTicks + w.chunkTicks - 1) / w.chunkTicks
+	w.Reserve(cfg.Behind, cfg.Ahead)
+	return w
+}
+
+// DT returns the tick interval in seconds.
+func (w *Window) DT() float64 { return w.dt }
+
+// NumTicks returns the underlying trace's total tick count.
+func (w *Window) NumTicks() int { return w.totalTicks }
+
+// NumVehicles returns the vehicle count (0 for an empty trace).
+func (w *Window) NumVehicles() int {
+	if w.totalTicks == 0 {
+		return 0
+	}
+	return w.vehicles
+}
+
+// ChunkTicks returns the stream's chunk capacity in ticks.
+func (w *Window) ChunkTicks() int { return w.chunkTicks }
+
+// Duration returns the trace's covered time span in seconds.
+func (w *Window) Duration() float64 { return float64(w.totalTicks) * w.dt }
+
+// Reserve widens the retained span to at least behind/ahead seconds around
+// the cursor (non-positive arguments leave the corresponding side alone).
+// It never shrinks the span, so independent consumers can each state their
+// own lookahead.
+func (w *Window) Reserve(behind, ahead float64) {
+	if t := secondsToTicks(behind, w.dt); t > w.behindTicks {
+		w.behindTicks = t
+	}
+	if t := secondsToTicks(ahead, w.dt); t > w.aheadTicks {
+		w.aheadTicks = t
+	}
+}
+
+// secondsToTicks converts a span to whole ticks, rounding up.
+func secondsToTicks(s, dt float64) int {
+	if s <= 0 || dt <= 0 {
+		return 0
+	}
+	t := int(s / dt)
+	if float64(t)*dt < s {
+		t++
+	}
+	return t
+}
+
+// SetChunkObserver installs the side-channel callback invoked on every
+// chunk load, evict, and prefetch issue. Calls always happen on the
+// goroutine driving Advance, in a deterministic order.
+func (w *Window) SetChunkObserver(fn func(ChunkOp)) { w.onOp = fn }
+
+// Stats returns the window's lifetime chunk-operation counts
+// (loads, evicts, prefetch issues).
+func (w *Window) Stats() (loads, evicts, prefetches int) {
+	return w.loads, w.evicts, w.prefetches
+}
+
+// Advance moves the cursor to the given tick (clamped to the trace
+// extent), loading chunks up to the leading edge and evicting those fully
+// behind the trailing edge. The cursor is monotone: moving it backward is
+// an error. A chunk decode failure is returned as a *ChunkError and
+// poisons the window.
+func (w *Window) Advance(tick int) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.totalTicks == 0 {
+		return nil
+	}
+	if tick < 0 {
+		tick = 0
+	}
+	if tick >= w.totalTicks {
+		tick = w.totalTicks - 1
+	}
+	if w.advanced && tick < w.cursor {
+		return fmt.Errorf("trace: window cursor moved backward to tick %d (cursor at %d)", tick, w.cursor)
+	}
+	w.advanced = true
+	w.cursor = tick
+
+	loTick := tick - w.behindTicks
+	if loTick < 0 {
+		loTick = 0
+	}
+	hiTick := tick + w.aheadTicks
+	if hiTick >= w.totalTicks {
+		hiTick = w.totalTicks - 1
+	}
+	wantLo, wantHi := loTick/w.chunkTicks, hiTick/w.chunkTicks
+
+	for w.next <= wantHi {
+		if err := w.loadNext(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	for w.lo < wantLo && w.lo < w.next {
+		w.evictFront()
+	}
+	if w.prefetch && w.pending == nil && w.next < w.numChunks {
+		w.issuePrefetch()
+	}
+	return nil
+}
+
+// loadNext appends chunk w.next to the retained window, absorbing an
+// outstanding prefetch if one covers it.
+func (w *Window) loadNext() error {
+	idx := w.next
+	var buf []geom.Point
+	if w.pending != nil {
+		res := <-w.pending
+		w.pending = nil
+		if res.err != nil {
+			return res.err
+		}
+		buf = res.pts
+	} else {
+		var err error
+		buf, err = w.readChunk(idx, w.grabBuf(idx))
+		if err != nil {
+			return err
+		}
+	}
+	w.chunks = append(w.chunks, buf)
+	w.next++
+	w.loads++
+	w.emit(ChunkOp{Kind: OpLoad, Chunk: idx, Ticks: w.ticksIn(idx), Resident: len(w.chunks)})
+	return nil
+}
+
+// evictFront recycles the oldest retained chunk.
+func (w *Window) evictFront() {
+	idx := w.lo
+	buf := w.chunks[0]
+	copy(w.chunks, w.chunks[1:])
+	w.chunks = w.chunks[:len(w.chunks)-1]
+	w.free = append(w.free, buf)
+	w.lo++
+	w.evicts++
+	w.emit(ChunkOp{Kind: OpEvict, Chunk: idx, Ticks: w.ticksIn(idx), Resident: len(w.chunks)})
+}
+
+// issuePrefetch starts a background read of chunk w.next. The buffer is
+// taken from the free list on this goroutine, so the background read
+// touches only the ChunkReader and its private buffer; Advance absorbs the
+// result (blocking if necessary) before it reads the stream again.
+func (w *Window) issuePrefetch() {
+	idx := w.next
+	buf := w.grabBuf(idx)
+	ch := make(chan prefetched, 1)
+	w.pending = ch
+	w.prefetches++
+	w.emit(ChunkOp{Kind: OpPrefetch, Chunk: idx, Ticks: w.ticksIn(idx), Resident: len(w.chunks)})
+	go func() {
+		pts, err := w.readChunk(idx, buf)
+		ch <- prefetched{pts: pts, err: err}
+	}()
+}
+
+// readChunk decodes the next stream chunk (expected to be chunk idx) into
+// buf, annotating any failure with the chunk's stream position.
+func (w *Window) readChunk(idx int, buf []geom.Point) ([]geom.Point, error) {
+	pts, ticks, err := w.cr.Next()
+	if err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("stream ended %d chunks early", w.numChunks-idx)
+		}
+		return nil, &ChunkError{Chunk: idx, FirstTick: idx * w.chunkTicks, Err: err}
+	}
+	if want := w.ticksIn(idx); ticks != want {
+		return nil, &ChunkError{Chunk: idx, FirstTick: idx * w.chunkTicks,
+			Err: fmt.Errorf("chunk holds %d ticks, expected %d", ticks, want)}
+	}
+	buf = buf[:len(pts)]
+	copy(buf, pts)
+	return buf, nil
+}
+
+// grabBuf returns a recycled (or fresh) buffer sized for chunk idx.
+func (w *Window) grabBuf(idx int) []geom.Point {
+	n := w.ticksIn(idx) * w.vehicles
+	if l := len(w.free); l > 0 {
+		buf := w.free[l-1]
+		w.free = w.free[:l-1]
+		if cap(buf) >= n {
+			return buf[:n]
+		}
+	}
+	return make([]geom.Point, n)
+}
+
+// ticksIn returns the tick count of chunk idx (the tail chunk may be
+// short).
+func (w *Window) ticksIn(idx int) int {
+	if rem := w.totalTicks - idx*w.chunkTicks; rem < w.chunkTicks {
+		return rem
+	}
+	return w.chunkTicks
+}
+
+func (w *Window) emit(op ChunkOp) {
+	if w.onOp != nil {
+		w.onOp(op)
+	}
+}
+
+// Close drains any outstanding prefetch so no background read races the
+// underlying reader's teardown. It does not close the reader's underlying
+// stream — OpenWindowFile's closer owns that.
+func (w *Window) Close() error {
+	if w.pending != nil {
+		<-w.pending
+		w.pending = nil
+	}
+	return nil
+}
+
+// Row returns every vehicle's position at the given tick as one contiguous
+// slice, valid until the next Advance. Ticks outside the retained window
+// panic with *WindowViolation.
+func (w *Window) Row(tick int) []geom.Point {
+	if w.err != nil {
+		panic(w.err)
+	}
+	c := tick / w.chunkTicks
+	if tick < 0 || tick >= w.totalTicks || c < w.lo || c >= w.next {
+		panic(&WindowViolation{Tick: tick, Lo: w.lo * w.chunkTicks, Hi: w.next*w.chunkTicks - 1, Cursor: w.cursor})
+	}
+	chunk := w.chunks[c-w.lo]
+	off := (tick - c*w.chunkTicks) * w.vehicles
+	return chunk[off : off+w.vehicles]
+}
+
+// RowAt is Row addressed by time (clamped to the trace extent, snapped to
+// a tick), mirroring the resident trace.
+func (w *Window) RowAt(t float64) []geom.Point {
+	if w.totalTicks == 0 {
+		return nil
+	}
+	return w.Row(clampTick(t, w.dt, w.totalTicks))
+}
+
+// At returns the position of vehicle v at time t (clamped, snapped to a
+// tick). The snapped tick must be inside the retained window.
+func (w *Window) At(v int, t float64) geom.Point {
+	if w.totalTicks == 0 {
+		return geom.Point{}
+	}
+	return w.Row(clampTick(t, w.dt, w.totalTicks))[v]
+}
+
+// Distance returns the distance between vehicles a and b at time t.
+func (w *Window) Distance(a, b int, t float64) float64 {
+	if w.totalTicks == 0 {
+		return 0
+	}
+	row := w.Row(clampTick(t, w.dt, w.totalTicks))
+	return row[a].Dist(row[b])
+}
+
+// Neighbors returns the vehicles within commRange of vehicle v at time t.
+func (w *Window) Neighbors(v int, t float64, commRange float64) []int {
+	return sourceNeighbors(w, v, t, commRange)
+}
+
+// ContactDuration estimates how long vehicles a and b remain within
+// commRange from time t, capped at horizon seconds; identical to the
+// resident implementation (both delegate to one helper).
+func (w *Window) ContactDuration(a, b int, t, commRange, horizon float64) float64 {
+	return sourceContactDuration(w, a, b, t, commRange, horizon)
+}
+
+// Validate performs basic structural checks on the window's header-derived
+// shape.
+func (w *Window) Validate() error {
+	if w.dt <= 0 {
+		return fmt.Errorf("trace: non-positive tick interval %g", w.dt)
+	}
+	if w.chunkTicks <= 0 {
+		return fmt.Errorf("trace: non-positive chunk capacity %d", w.chunkTicks)
+	}
+	if w.totalTicks > 0 && w.vehicles <= 0 {
+		return fmt.Errorf("trace: %d ticks of %d vehicles", w.totalTicks, w.vehicles)
+	}
+	return nil
+}
+
+// CountTicks scans a seekable LBTC stream and returns its total tick
+// count, seeking over chunk bodies so the cost is header-sized reads per
+// chunk. The stream position is left after the end marker; callers reseek
+// before handing the stream to NewChunkReader.
+func CountTicks(rs io.ReadSeeker) (int, error) {
+	if _, err := rs.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("trace: seeking stream start: %w", err)
+	}
+	head := make([]byte, streamHeaderLen)
+	if _, err := io.ReadFull(rs, head); err != nil {
+		return 0, fmt.Errorf("trace: reading stream header: %w", err)
+	}
+	_, vehicles, chunkTicks, err := decodeStreamHeader(head)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	var lenBuf [4]byte
+	for chunk := 0; ; chunk++ {
+		if _, err := io.ReadFull(rs, lenBuf[:]); err != nil {
+			return 0, &ChunkError{Chunk: chunk, FirstTick: total,
+				Err: fmt.Errorf("reading chunk length: %w", err)}
+		}
+		n := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if n == 0 {
+			return total, nil
+		}
+		if n > chunkTicks {
+			return 0, &ChunkError{Chunk: chunk, FirstTick: total,
+				Err: fmt.Errorf("chunk of %d ticks exceeds capacity %d", n, chunkTicks)}
+		}
+		if _, err := rs.Seek(int64(n)*int64(vehicles)*16, io.SeekCurrent); err != nil {
+			return 0, &ChunkError{Chunk: chunk, FirstTick: total,
+				Err: fmt.Errorf("seeking over chunk body: %w", err)}
+		}
+		total += n
+	}
+}
+
+// OpenWindowFile opens an LBTC trace file as a bounded sliding window,
+// counting its ticks with a header-only pre-scan. The returned closer owns
+// the file handle (and drains the window's prefetch) — close it when the
+// window is done.
+func OpenWindowFile(path string, cfg WindowConfig) (*Window, io.Closer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace: opening %s: %w", path, err)
+	}
+	ticks, err := CountTicks(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("trace: counting ticks in %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("trace: rewinding %s: %w", path, err)
+	}
+	cr, err := NewChunkReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := NewWindow(cr, ticks, cfg)
+	return w, &windowCloser{w: w, f: f}, nil
+}
+
+// windowCloser ties a window's prefetch drain to its backing file handle.
+type windowCloser struct {
+	w *Window
+	f *os.File
+}
+
+func (c *windowCloser) Close() error {
+	c.w.Close()
+	return c.f.Close()
+}

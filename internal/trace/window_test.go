@@ -1,0 +1,427 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"lbchat/internal/geom"
+)
+
+// windowOver encodes tr and reopens it as a sliding window with the given
+// config, returning the window alongside the resident reference.
+func windowOver(t *testing.T, tr *Trace, cfg WindowConfig) *Window {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := NewChunkReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewWindow(cr, tr.NumTicks(), cfg)
+}
+
+// syntheticTrace builds a deterministic trace with distinct per-(tick,
+// vehicle) coordinates so any misaligned read is caught by value.
+func syntheticTrace(dt float64, vehicles, ticks, chunkTicks int) *Trace {
+	tr := NewChunked(dt, vehicles, chunkTicks)
+	for tick := 0; tick < ticks; tick++ {
+		row := tr.AppendRow()
+		for v := range row {
+			row[v] = geom.Point{X: float64(tick*1000 + v), Y: float64(tick) - 0.25*float64(v)}
+		}
+	}
+	return tr
+}
+
+// TestWindowMatchesResident is the window-contract property test: for a
+// cursor swept over every tick, Window.At/Row/Distance/ContactDuration
+// must equal the resident trace for every time reachable under the
+// reserved span — the exact guarantee the engine relies on for byte-
+// identical streamed runs.
+func TestWindowMatchesResident(t *testing.T) {
+	const (
+		dt       = 0.5
+		vehicles = 3
+		ticks    = 90
+		behind   = 4.0 // seconds
+		ahead    = 10.0
+	)
+	for _, chunkTicks := range []int{4, 7, 32} {
+		tr := syntheticTrace(dt, vehicles, ticks, chunkTicks)
+		w := windowOver(t, tr, WindowConfig{Behind: behind, Ahead: ahead})
+		if w.NumTicks() != ticks || w.NumVehicles() != vehicles || w.Duration() != tr.Duration() {
+			t.Fatalf("chunkTicks=%d: window shape %d×%d over %gs", chunkTicks, w.NumTicks(), w.NumVehicles(), w.Duration())
+		}
+		for cursor := 0; cursor < ticks; cursor++ {
+			if err := w.Advance(cursor); err != nil {
+				t.Fatalf("chunkTicks=%d: Advance(%d): %v", chunkTicks, cursor, err)
+			}
+			now := float64(cursor) * dt
+			loTick := cursor - int(behind/dt)
+			if loTick < 0 {
+				loTick = 0
+			}
+			hiTick := cursor + int(ahead/dt)
+			if hiTick >= ticks {
+				hiTick = ticks - 1
+			}
+			for tick := loTick; tick <= hiTick; tick++ {
+				at := float64(tick) * dt
+				for v := 0; v < vehicles; v++ {
+					if got, want := w.At(v, at), tr.At(v, at); got != want {
+						t.Fatalf("chunkTicks=%d cursor=%d: At(%d, %g) = %v, want %v", chunkTicks, cursor, v, at, got, want)
+					}
+				}
+				gotRow, wantRow := w.Row(tick), tr.Row(tick)
+				for v := range wantRow {
+					if gotRow[v] != wantRow[v] {
+						t.Fatalf("chunkTicks=%d cursor=%d: Row(%d)[%d] differs", chunkTicks, cursor, tick, v)
+					}
+				}
+			}
+			if got, want := w.Distance(0, 1, now), tr.Distance(0, 1, now); got != want {
+				t.Fatalf("chunkTicks=%d cursor=%d: Distance = %v, want %v", chunkTicks, cursor, got, want)
+			}
+			// ContactDuration reads up to `ahead` seconds past now — the
+			// engine's deepest in-window lookahead.
+			if got, want := w.ContactDuration(0, 1, now, 1e9, ahead-dt), tr.ContactDuration(0, 1, now, 1e9, ahead-dt); got != want {
+				t.Fatalf("chunkTicks=%d cursor=%d: ContactDuration = %v, want %v", chunkTicks, cursor, got, want)
+			}
+			gotN, wantN := w.Neighbors(0, now, 1e9), tr.Neighbors(0, now, 1e9)
+			if len(gotN) != len(wantN) {
+				t.Fatalf("chunkTicks=%d cursor=%d: %d neighbors, want %d", chunkTicks, cursor, len(gotN), len(wantN))
+			}
+		}
+	}
+}
+
+// TestWindowPrefetchMatchesSync pins that background prefetch changes
+// neither values nor the load/evict sequence.
+func TestWindowPrefetchMatchesSync(t *testing.T) {
+	tr := syntheticTrace(0.5, 2, 64, 8)
+	type rec struct {
+		kind  ChunkOpKind
+		chunk int
+	}
+	runOps := func(prefetch bool) (ops []rec) {
+		w := windowOver(t, tr, WindowConfig{Behind: 2, Ahead: 6, Prefetch: prefetch})
+		w.SetChunkObserver(func(op ChunkOp) {
+			if op.Kind != OpPrefetch {
+				ops = append(ops, rec{op.Kind, op.Chunk})
+			}
+		})
+		for cursor := 0; cursor < tr.NumTicks(); cursor++ {
+			if err := w.Advance(cursor); err != nil {
+				t.Fatalf("prefetch=%v Advance(%d): %v", prefetch, cursor, err)
+			}
+			if got, want := w.RowAt(float64(cursor)*0.5), tr.RowAt(float64(cursor)*0.5); got[0] != want[0] {
+				t.Fatalf("prefetch=%v cursor=%d: row differs", prefetch, cursor)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return ops
+	}
+	sync, pre := runOps(false), runOps(true)
+	if len(sync) != len(pre) {
+		t.Fatalf("op counts differ: sync %d, prefetch %d", len(sync), len(pre))
+	}
+	for i := range sync {
+		if sync[i] != pre[i] {
+			t.Fatalf("op %d differs: sync %+v, prefetch %+v", i, sync[i], pre[i])
+		}
+	}
+}
+
+// TestWindowChunkSeam pins correctness at the default chunk seam: ticks
+// 255 and 256 live in different chunks and both must read back exactly.
+func TestWindowChunkSeam(t *testing.T) {
+	const dt = 0.5
+	tr := syntheticTrace(dt, 2, 520, DefaultChunkTicks)
+	w := windowOver(t, tr, WindowConfig{Behind: 1, Ahead: 2})
+	for _, tick := range []int{0, 254, 255, 256, 257, 511, 512, 519} {
+		if err := w.Advance(tick); err != nil {
+			t.Fatalf("Advance(%d): %v", tick, err)
+		}
+		if got, want := w.Row(tick)[1], tr.Row(tick)[1]; got != want {
+			t.Fatalf("tick %d: %v, want %v", tick, got, want)
+		}
+		if got, want := w.At(0, float64(tick)*dt), tr.At(0, float64(tick)*dt); got != want {
+			t.Fatalf("tick %d: At = %v, want %v", tick, got, want)
+		}
+	}
+}
+
+// TestWindowEviction pins the eviction edge: once the cursor passes
+// behind+chunk, the oldest chunk is recycled, the resident count stays
+// O(window), and reading the evicted tick panics with *WindowViolation.
+func TestWindowEviction(t *testing.T) {
+	tr := syntheticTrace(1.0, 2, 64, 4) // 16 chunks of 4 ticks
+	w := windowOver(t, tr, WindowConfig{Behind: 4, Ahead: 8})
+	var evicted []int
+	maxResident := 0
+	w.SetChunkObserver(func(op ChunkOp) {
+		if op.Kind == OpEvict {
+			evicted = append(evicted, op.Chunk)
+		}
+		if op.Resident > maxResident {
+			maxResident = op.Resident
+		}
+	})
+	for cursor := 0; cursor < 64; cursor++ {
+		if err := w.Advance(cursor); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(evicted) == 0 {
+		t.Fatal("full sweep evicted nothing")
+	}
+	for i, c := range evicted {
+		if c != i {
+			t.Fatalf("evictions out of order: %v", evicted)
+		}
+	}
+	// behind(4)+ahead(8) ticks span at most 4 chunks of 4 ticks plus one
+	// seam chunk.
+	if maxResident > 5 {
+		t.Fatalf("resident peaked at %d chunks, window should bound it", maxResident)
+	}
+	loads, evicts, _ := w.Stats()
+	if loads != 16 {
+		t.Fatalf("loaded %d chunks, want every chunk exactly once", loads)
+	}
+	if evicts != len(evicted) {
+		t.Fatalf("Stats evicts %d, observer saw %d", evicts, len(evicted))
+	}
+
+	func() {
+		defer func() {
+			v, ok := recover().(*WindowViolation)
+			if !ok {
+				t.Fatalf("reading evicted tick: recovered %v, want *WindowViolation", v)
+			}
+			if v.Tick != 0 {
+				t.Fatalf("violation reports tick %d, want 0", v.Tick)
+			}
+		}()
+		w.Row(0)
+	}()
+}
+
+// TestWindowViolationAhead pins the strict-window error path on the
+// leading edge: a lookup past the reserved span must panic, not silently
+// load the rest of the trace.
+func TestWindowViolationAhead(t *testing.T) {
+	tr := syntheticTrace(1.0, 2, 64, 4)
+	w := windowOver(t, tr, WindowConfig{Behind: 2, Ahead: 4})
+	if err := w.Advance(0); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v, ok := recover().(*WindowViolation)
+		if !ok {
+			t.Fatalf("recovered %v, want *WindowViolation", v)
+		}
+		if v.Tick != 63 || v.Cursor != 0 {
+			t.Fatalf("violation = %+v", v)
+		}
+		if !strings.Contains(v.Error(), "outside retained window") {
+			t.Fatalf("violation message %q", v.Error())
+		}
+	}()
+	w.At(0, 63) // clamps to tick 63, far past the 4-second leading edge
+}
+
+// TestWindowCursorMonotone pins that the cursor cannot move backward —
+// a sequential stream cannot rewind.
+func TestWindowCursorMonotone(t *testing.T) {
+	tr := syntheticTrace(1.0, 2, 32, 4)
+	w := windowOver(t, tr, WindowConfig{Behind: 2, Ahead: 4})
+	if err := w.Advance(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Advance(10); err != nil {
+		t.Fatalf("re-advancing to the same tick: %v", err)
+	}
+	if err := w.Advance(9); err == nil {
+		t.Fatal("backward Advance accepted")
+	}
+}
+
+// TestWindowCorruptionPositioned is the mid-stream corruption fix: decode
+// failures surfacing through Advance must carry the chunk index and first
+// tick, not just the bare decode error.
+func TestWindowCorruptionPositioned(t *testing.T) {
+	const (
+		vehicles   = 2
+		chunkTicks = 4
+		ticks      = 16 // 4 full chunks
+	)
+	tr := syntheticTrace(1.0, vehicles, ticks, chunkTicks)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	chunkBytes := 4 + chunkTicks*vehicles*16
+	headerLen := streamHeaderLen
+
+	cases := []struct {
+		name      string
+		corrupt   func([]byte) []byte
+		wantChunk int
+	}{
+		{
+			name: "oversized chunk length mid-stream",
+			corrupt: func(b []byte) []byte {
+				// Chunk 2's length field claims more ticks than capacity.
+				off := headerLen + 2*chunkBytes
+				b[off] = 0xff
+				return b
+			},
+			wantChunk: 2,
+		},
+		{
+			name: "stream truncated inside chunk body",
+			corrupt: func(b []byte) []byte {
+				return b[:headerLen+2*chunkBytes+10]
+			},
+			wantChunk: 2,
+		},
+		{
+			name: "end marker where chunks remain",
+			corrupt: func(b []byte) []byte {
+				// Replace chunk 3's length with the end-of-stream marker.
+				off := headerLen + 3*chunkBytes
+				b[off], b[off+1], b[off+2], b[off+3] = 0, 0, 0, 0
+				return b[:off+4]
+			},
+			wantChunk: 3,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.corrupt(append([]byte(nil), good...))
+			cr, err := NewChunkReader(bytes.NewReader(bad))
+			if err != nil {
+				t.Fatalf("header should still parse: %v", err)
+			}
+			w := NewWindow(cr, ticks, WindowConfig{Behind: 2, Ahead: 2})
+			var advErr error
+			for cursor := 0; cursor < ticks && advErr == nil; cursor++ {
+				advErr = w.Advance(cursor)
+			}
+			if advErr == nil {
+				t.Fatal("corrupt stream advanced cleanly")
+			}
+			var ce *ChunkError
+			if !errors.As(advErr, &ce) {
+				t.Fatalf("error %v is not a *ChunkError", advErr)
+			}
+			if ce.Chunk != tc.wantChunk {
+				t.Fatalf("error names chunk %d, want %d: %v", ce.Chunk, tc.wantChunk, advErr)
+			}
+			if ce.FirstTick != tc.wantChunk*chunkTicks {
+				t.Fatalf("error names first tick %d, want %d", ce.FirstTick, tc.wantChunk*chunkTicks)
+			}
+			// The window is poisoned: further lookups fail loudly through
+			// Window.At with the same positioned error.
+			defer func() {
+				r := recover()
+				var pe *ChunkError
+				if err, ok := r.(error); !ok || !errors.As(err, &pe) {
+					t.Fatalf("poisoned At recovered %v, want *ChunkError", r)
+				}
+			}()
+			w.At(0, 0)
+		})
+	}
+}
+
+// TestCountTicks pins the header-only pre-scan against traces of assorted
+// shapes, including empty and partial-tail streams.
+func TestCountTicks(t *testing.T) {
+	for _, ticks := range []int{0, 1, 4, 9, 70} {
+		tr := syntheticTrace(0.5, 3, ticks, 4)
+		var buf bytes.Buffer
+		if err := tr.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := CountTicks(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ticks=%d: %v", ticks, err)
+		}
+		if got != ticks {
+			t.Fatalf("CountTicks = %d, want %d", got, ticks)
+		}
+	}
+	// Truncation is an error, not a short count.
+	tr := syntheticTrace(0.5, 3, 12, 4)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CountTicks(bytes.NewReader(buf.Bytes()[:buf.Len()-6])); err == nil {
+		t.Fatal("truncated stream counted cleanly")
+	}
+}
+
+// TestWindowEmptyTrace mirrors resident zero-value semantics.
+func TestWindowEmptyTrace(t *testing.T) {
+	tr := NewChunked(0.5, 3, 4)
+	w := windowOver(t, tr, WindowConfig{})
+	if err := w.Advance(0); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumVehicles() != 0 || w.NumTicks() != 0 {
+		t.Fatalf("empty window shape %d×%d", w.NumTicks(), w.NumVehicles())
+	}
+	if got := w.At(0, 5); got != (geom.Point{}) {
+		t.Fatalf("empty At = %v", got)
+	}
+	if w.RowAt(0) != nil {
+		t.Fatal("empty RowAt should be nil")
+	}
+}
+
+// TestOpenWindowFile covers the file-backed path used by the CLIs and the
+// experiment harness.
+func TestOpenWindowFile(t *testing.T) {
+	tr := syntheticTrace(0.5, 2, 40, 8)
+	path := t.TempDir() + "/trace.lbtc"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Encode(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w, closer, err := OpenWindowFile(path, WindowConfig{Behind: 2, Ahead: 4, Prefetch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if w.NumTicks() != 40 || w.NumVehicles() != 2 {
+		t.Fatalf("file window shape %d×%d", w.NumTicks(), w.NumVehicles())
+	}
+	for cursor := 0; cursor < 40; cursor++ {
+		if err := w.Advance(cursor); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := w.Row(cursor)[0], tr.Row(cursor)[0]; got != want {
+			t.Fatalf("tick %d: %v, want %v", cursor, got, want)
+		}
+	}
+	if _, _, err := OpenWindowFile(path+".missing", WindowConfig{}); err == nil {
+		t.Fatal("missing file opened")
+	}
+}
