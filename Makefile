@@ -10,7 +10,7 @@ STATICCHECK_VERSION ?= 2025.1
 # cmd/bench-compare diffs a candidate file against the committed
 # $(BENCH_BASELINE) and fails on >15% ns/op regressions for the hot paths,
 # then prints the per-benchmark trend across the history file.
-BENCH_BASELINE ?= BENCH_PR7.json
+BENCH_BASELINE ?= BENCH_PR8.json
 BENCH_JSON ?= $(BENCH_BASELINE)
 BENCH_HISTORY ?= BENCH_HISTORY.jsonl
 BENCH_LABEL ?= local
@@ -18,7 +18,7 @@ BENCH_FILTER := BenchmarkCandidatePairs|BenchmarkWorldTick|BenchmarkBEV|Benchmar
 BENCH_HOT := CandidatePairs,WorldTick,ShardScan,EnsureCoreset,AbsorbCoreset,WindowRowAt
 BENCH_PKGS := ./internal/core/ ./internal/world/ ./internal/shard/ ./internal/trace/
 
-.PHONY: build vet lint test race bench bench-json bench-compare bench-pprof scale-smoke telemetry-smoke stream-smoke doccheck ci
+.PHONY: build vet lint test race bench bench-json bench-compare bench-pprof scale-smoke telemetry-smoke stream-smoke remote-stream-smoke doccheck ci
 
 build:
 	$(GO) build ./...
@@ -76,13 +76,16 @@ scale-smoke:
 	$(GO) run -race ./cmd/lbchat-bench -exp fleetscan -vehicles 2048 -duration 10 -shards 4
 
 # End-to-end check of the telemetry pipeline: a tiny sim writes its event
-# stream as JSONL, and telemetry-lint fails unless the file is non-empty
-# and every line decodes against the event schema.
+# stream as JSONL plus its aggregated summary CSV, and telemetry-lint fails
+# unless the stream is non-empty, every line decodes against the event
+# schema, and every summary row names a canonical metric.
 telemetry-smoke:
 	$(eval TMPDIR_SMOKE := $(shell mktemp -d))
 	$(GO) run ./cmd/lbchat-sim -scale test -vehicles 4 -duration 120 \
-		-telemetry-out $(TMPDIR_SMOKE)/events.jsonl > /dev/null
-	$(GO) run ./cmd/telemetry-lint $(TMPDIR_SMOKE)/events.jsonl
+		-telemetry-out $(TMPDIR_SMOKE)/events.jsonl \
+		-summary-out $(TMPDIR_SMOKE)/summary.csv > /dev/null
+	$(GO) run ./cmd/telemetry-lint -summary $(TMPDIR_SMOKE)/summary.csv \
+		$(TMPDIR_SMOKE)/events.jsonl
 	rm -rf $(TMPDIR_SMOKE)
 
 # A/B check of the streaming trace engine under the race detector: the same
@@ -99,6 +102,37 @@ stream-smoke:
 	cmp $(TMPDIR_STREAM)/resident.jsonl $(TMPDIR_STREAM)/streamed.jsonl
 	rm -rf $(TMPDIR_STREAM)
 
+# End-to-end check of the remote trace path: a recorded LBTC trace is
+# served by cmd/trace-serve on a loopback port, and the same co-simulation
+# runs once from the file (-trace-file) and once over HTTP (-trace-url).
+# The telemetry event streams must be byte-identical — remote paging
+# changes where chunks come from, never what the engine computes — and the
+# remote run's summary CSV must lint clean against the canonical metric
+# registry, which covers the trace.chunk_* fetch-pipeline counters only a
+# remote run emits.
+remote-stream-smoke:
+	$(eval TMPDIR_REMOTE := $(shell mktemp -d))
+	$(GO) build -o $(TMPDIR_REMOTE)/trace-serve ./cmd/trace-serve
+	$(GO) run ./cmd/worldgen -vehicles 4 -trace 240 \
+		-trace-out $(TMPDIR_REMOTE)/trace.lbtc > /dev/null
+	$(GO) run -race ./cmd/lbchat-sim -scale test -duration 120 \
+		-trace-file $(TMPDIR_REMOTE)/trace.lbtc \
+		-telemetry-out $(TMPDIR_REMOTE)/local.jsonl > /dev/null
+	set -e; \
+	$(TMPDIR_REMOTE)/trace-serve -file $(TMPDIR_REMOTE)/trace.lbtc \
+		-addr 127.0.0.1:0 -addr-file $(TMPDIR_REMOTE)/addr & \
+	pid=$$!; trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 1 100); do [ -s $(TMPDIR_REMOTE)/addr ] && break; sleep 0.1; done; \
+	[ -s $(TMPDIR_REMOTE)/addr ] || { echo "trace-serve never published its address"; exit 1; }; \
+	$(GO) run -race ./cmd/lbchat-sim -scale test -duration 120 \
+		-trace-url http://$$(cat $(TMPDIR_REMOTE)/addr) \
+		-telemetry-out $(TMPDIR_REMOTE)/remote.jsonl \
+		-summary-out $(TMPDIR_REMOTE)/summary.csv > /dev/null
+	cmp $(TMPDIR_REMOTE)/local.jsonl $(TMPDIR_REMOTE)/remote.jsonl
+	$(GO) run ./cmd/telemetry-lint -summary $(TMPDIR_REMOTE)/summary.csv \
+		$(TMPDIR_REMOTE)/remote.jsonl
+	rm -rf $(TMPDIR_REMOTE)
+
 # Every internal package must carry its godoc in a dedicated doc.go opening
 # with the canonical "// Package <name>" sentence.
 doccheck:
@@ -111,4 +145,4 @@ doccheck:
 		fi; \
 	done; exit $$fail
 
-ci: build vet doccheck lint test race telemetry-smoke stream-smoke
+ci: build vet doccheck lint test race telemetry-smoke stream-smoke remote-stream-smoke

@@ -1,6 +1,6 @@
 // Package cli collects the flag handling shared by the lbchat commands so
 // -seed, -workers, -shards, -scale, -faults, -telemetry-out, -stream-trace,
-// and -trace-file parse and behave identically everywhere.
+// -trace-file, and -trace-url parse and behave identically everywhere.
 package cli
 
 import (
@@ -17,6 +17,7 @@ import (
 	"lbchat/internal/telemetry"
 	"lbchat/internal/tensor"
 	"lbchat/internal/trace"
+	"lbchat/internal/traceserve"
 )
 
 // Common holds the parsed shared flags.
@@ -48,6 +49,11 @@ type Common struct {
 	// e.g. a worldgen -trace-out recording) instead of recording one; the
 	// vehicle count is taken from the file. Resolve it with ApplyTrace.
 	TraceFile string
+	// TraceURL pages the mobility trace from a remote chunk server
+	// (-trace-url, see cmd/trace-serve) instead of a local file. Remote
+	// traces always stream through a sliding window; mutually exclusive
+	// with -trace-file. Resolve it with ApplyTrace.
+	TraceURL string
 
 	fs *flag.FlagSet
 }
@@ -70,6 +76,8 @@ func Register(fs *flag.FlagSet) *Common {
 		"stream the mobility trace through a bounded sliding window instead of holding it resident; results are bit-identical")
 	fs.StringVar(&c.TraceFile, "trace-file", "",
 		"load the mobility trace from this LBTC file (see worldgen -trace-out) instead of recording one")
+	fs.StringVar(&c.TraceURL, "trace-url", "",
+		"page the mobility trace from a trace-serve chunk server at this base URL (always streamed; excludes -trace-file)")
 	return c
 }
 
@@ -124,13 +132,30 @@ type nopCloser struct{}
 
 func (nopCloser) Close() error { return nil }
 
-// ApplyTrace resolves -trace-file onto the scale: the LBTC file is opened
-// through OpenTrace (resident or windowed per -stream-trace), installed as
-// the scale's trace source, and the scale's vehicle count is taken from the
-// file — overriding any -vehicles setting, which only sizes recorded
-// traces. The returned closer must be closed after the run; without
-// -trace-file it is a no-op and the scale is untouched.
+// ApplyTrace resolves -trace-file or -trace-url onto the scale. A file is
+// opened through OpenTrace (resident or windowed per -stream-trace) and
+// installed as the scale's trace source; a URL is dialed once for its
+// stream metadata and recorded as Scale.TraceURL for the experiment layer
+// to page through (remote traces always stream). Either way the scale's
+// vehicle count is taken from the trace — overriding any -vehicles
+// setting, which only sizes recorded traces. The returned closer must be
+// closed after the run; without either flag it is a no-op and the scale is
+// untouched.
 func (c *Common) ApplyTrace(scale *experiments.Scale) (io.Closer, error) {
+	if c.TraceFile != "" && c.TraceURL != "" {
+		return nil, fmt.Errorf("-trace-file and -trace-url are mutually exclusive")
+	}
+	if c.TraceURL != "" {
+		probe, err := traceserve.Dial(c.TraceURL, traceserve.ClientConfig{})
+		if err != nil {
+			return nil, err
+		}
+		probe.Close()
+		scale.TraceURL = c.TraceURL
+		scale.Vehicles = probe.NumVehicles()
+		scale.TraceTicks = probe.NumTicks()
+		return nopCloser{}, nil
+	}
 	if c.TraceFile == "" {
 		return nopCloser{}, nil
 	}

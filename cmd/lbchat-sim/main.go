@@ -41,6 +41,8 @@ func run() error {
 	logChats := flag.Bool("log-chats", false, "trace every pairwise chat decision to stderr")
 	saveDir := flag.String("save-fleet", "", "directory to write the trained fleet's model blobs into")
 	jsonPath := flag.String("json", "", "write the loss curve and transfer stats as JSON to this file")
+	summaryOut := flag.String("summary-out", "",
+		"write the run's aggregated telemetry counters and histograms as CSV to this file (see telemetry-lint -summary)")
 	common := cli.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -106,6 +108,20 @@ func run() error {
 	fmt.Print(experiments.CommTable(res.Runs).Render())
 	if err := common.CloseSink(sink); err != nil {
 		return err
+	}
+	if *summaryOut != "" {
+		f, err := os.Create(*summaryOut)
+		if err != nil {
+			return err
+		}
+		err = run.Comm.Reg.WriteCSV(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("writing -summary-out: %w", err)
+		}
+		fmt.Printf("Wrote telemetry summary to %s\n", *summaryOut)
 	}
 	if *jsonPath != "" {
 		payload := struct {

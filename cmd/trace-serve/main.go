@@ -1,0 +1,97 @@
+// Command trace-serve exposes one LBTC mobility trace as a chunk server,
+// so the lbchat commands can page it remotely with -trace-url instead of
+// reading a local file with -trace-file.
+//
+// Usage:
+//
+//	trace-serve -file city.lbtc                       # serve on a random localhost port
+//	trace-serve -file city.lbtc -addr :9347           # fixed port
+//	trace-serve -file city.lbtc -addr-file addr.txt   # write host:port for scripts
+//	trace-serve -file city.lbtc -fetch-faults flaky   # inject latency + 503s
+//
+// The bound address is printed on stdout (and, with -addr-file, written to
+// a file once the listener is up — the Makefile smoke targets use that as
+// a startup handshake). The server runs until SIGINT/SIGTERM, then shuts
+// down gracefully and reports how many requests it handled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lbchat/internal/faults"
+	"lbchat/internal/trace"
+	"lbchat/internal/traceserve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace-serve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	file := flag.String("file", "", "LBTC trace file to serve (required)")
+	addr := flag.String("addr", "127.0.0.1:0", "listen address; port 0 picks a free port")
+	addrFile := flag.String("addr-file", "", "write the bound host:port to this file once listening")
+	faultsName := flag.String("fetch-faults", "off", "fetch fault profile: off, slow, lossy, or flaky")
+	flag.Parse()
+
+	if *file == "" {
+		return fmt.Errorf("-file is required")
+	}
+	fc, err := faults.FetchByName(*faultsName)
+	if err != nil {
+		return err
+	}
+	src, err := trace.OpenFileSource(*file)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	srv, err := traceserve.NewServer(src, traceserve.ServerConfig{Faults: fc})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	meta := srv.Meta()
+	fmt.Printf("trace-serve: serving %s (%d ticks, %d vehicles, %d chunks) on http://%s\n",
+		*file, meta.TotalTicks, meta.Vehicles, meta.NumChunks, ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case <-sig:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("trace-serve: handled %d requests\n", srv.Requests())
+	return nil
+}

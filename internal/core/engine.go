@@ -359,6 +359,9 @@ func NewEngine(cfg Config, tr trace.Source, datasets []*dataset.Dataset, rm *rad
 					Chunk:    op.Chunk,
 					Ticks:    op.Ticks,
 					Resident: op.Resident,
+					Depth:    op.Depth,
+					Retries:  op.Retries,
+					WaitNs:   op.WaitNs,
 				})
 			})
 		}

@@ -20,6 +20,7 @@ import (
 	"lbchat/internal/simrand"
 	"lbchat/internal/telemetry"
 	"lbchat/internal/trace"
+	"lbchat/internal/traceserve"
 	"lbchat/internal/world"
 )
 
@@ -74,6 +75,13 @@ type Scale struct {
 	// loading. Streamed runs still reopen fresh windows from TracePath,
 	// since a window's cursor only moves forward.
 	TraceSource trace.Source
+	// TraceURL, when set, pages the mobility trace from a remote chunk
+	// server (cmd/trace-serve) at this base URL instead of a local file.
+	// Remote traces always stream — each run gets a fresh window over a
+	// shared retrying client — and take precedence over TraceSource and
+	// TracePath. Results are bit-identical to the resident and
+	// local-streamed paths.
+	TraceURL string
 }
 
 // TestScale is a minimal configuration for unit tests.
@@ -142,6 +150,10 @@ type Env struct {
 	streamPath  string
 	ownsStream  bool
 	traceCloser io.Closer
+	// remote is the shared chunk-server client remote envs page through;
+	// per-run windows all fetch via it (the client is concurrency-safe and
+	// its LRU is shared). Close releases it after the env-level window.
+	remote *traceserve.Client
 }
 
 // Close releases the env's trace resources: the env-level window's file
@@ -159,6 +171,12 @@ func (e *Env) Close() error {
 		}
 		e.ownsStream = false
 	}
+	if e.remote != nil {
+		if err := e.remote.Close(); err != nil && first == nil {
+			first = err
+		}
+		e.remote = nil
+	}
 	return first
 }
 
@@ -168,12 +186,21 @@ func envWindowConfig() trace.WindowConfig {
 	return trace.WindowConfig{Prefetch: true}
 }
 
-// buildTrace resolves the scale's mobility-trace source: a caller-supplied
-// source, an LBTC file, or a recording from the world (resident, or
-// spilled to a temporary stream when the scale streams). It returns the
-// env fields it populates.
-func buildTrace(scale Scale, w *world.World) (src trace.Source, streamPath string, owns bool, closer io.Closer, err error) {
+// buildTrace resolves the scale's mobility-trace source: a remote chunk
+// server, a caller-supplied source, an LBTC file, or a recording from the
+// world (resident, or spilled to a temporary stream when the scale
+// streams). It returns the env fields it populates.
+func buildTrace(scale Scale, w *world.World) (src trace.Source, streamPath string, owns bool, closer io.Closer, remote *traceserve.Client, err error) {
 	switch {
+	case scale.TraceURL != "":
+		remote, err = traceserve.Dial(scale.TraceURL, traceserve.ClientConfig{})
+		if err != nil {
+			return nil, "", false, nil, nil, fmt.Errorf("experiments: dialing trace server: %w", err)
+		}
+		win := trace.NewWindowSource(remote, envWindowConfig())
+		// The window's own Close drains its prefetches; the shared client
+		// is released by Env.Close after every window is done.
+		src, closer = win, win
 	case scale.TraceSource != nil:
 		src = scale.TraceSource
 		if scale.StreamTrace {
@@ -184,18 +211,18 @@ func buildTrace(scale Scale, w *world.World) (src trace.Source, streamPath strin
 			var win *trace.Window
 			win, closer, err = trace.OpenWindowFile(scale.TracePath, envWindowConfig())
 			if err != nil {
-				return nil, "", false, nil, fmt.Errorf("experiments: opening trace window: %w", err)
+				return nil, "", false, nil, nil, fmt.Errorf("experiments: opening trace window: %w", err)
 			}
 			src, streamPath = win, scale.TracePath
 		} else {
 			f, ferr := os.Open(scale.TracePath)
 			if ferr != nil {
-				return nil, "", false, nil, fmt.Errorf("experiments: opening trace: %w", ferr)
+				return nil, "", false, nil, nil, fmt.Errorf("experiments: opening trace: %w", ferr)
 			}
 			tr, rerr := trace.ReadTrace(f)
 			f.Close()
 			if rerr != nil {
-				return nil, "", false, nil, fmt.Errorf("experiments: reading trace %s: %w", scale.TracePath, rerr)
+				return nil, "", false, nil, nil, fmt.Errorf("experiments: reading trace %s: %w", scale.TracePath, rerr)
 			}
 			src = tr
 		}
@@ -204,7 +231,7 @@ func buildTrace(scale Scale, w *world.World) (src trace.Source, streamPath strin
 		// the full trace is never resident, then open a window over it.
 		f, ferr := os.CreateTemp("", "lbchat-trace-*.lbtc")
 		if ferr != nil {
-			return nil, "", false, nil, fmt.Errorf("experiments: creating trace spill: %w", ferr)
+			return nil, "", false, nil, nil, fmt.Errorf("experiments: creating trace spill: %w", ferr)
 		}
 		streamPath, owns = f.Name(), true
 		cw := trace.NewChunkWriter(f, 0.5, len(w.Experts), trace.DefaultChunkTicks)
@@ -217,19 +244,19 @@ func buildTrace(scale Scale, w *world.World) (src trace.Source, streamPath strin
 		}
 		if recErr != nil {
 			os.Remove(streamPath)
-			return nil, "", false, nil, fmt.Errorf("experiments: spilling trace: %w", recErr)
+			return nil, "", false, nil, nil, fmt.Errorf("experiments: spilling trace: %w", recErr)
 		}
 		var win *trace.Window
 		win, closer, err = trace.OpenWindowFile(streamPath, envWindowConfig())
 		if err != nil {
 			os.Remove(streamPath)
-			return nil, "", false, nil, fmt.Errorf("experiments: reopening trace spill: %w", err)
+			return nil, "", false, nil, nil, fmt.Errorf("experiments: reopening trace spill: %w", err)
 		}
 		src = win
 	default:
 		src = trace.Record(w, scale.TraceTicks, 0.5)
 	}
-	return src, streamPath, owns, closer, nil
+	return src, streamPath, owns, closer, remote, nil
 }
 
 // BuildEnv constructs the workload: generate the map, spawn the fleet,
@@ -261,13 +288,14 @@ func BuildEnv(scale Scale) (*Env, error) {
 	// drive encounters; we keep stepping the same world. RecordStream spills
 	// the identical positions when the scale streams, so streamed and
 	// resident envs see the same trajectories bit for bit.
-	tr, streamPath, owns, closer, err := buildTrace(scale, w)
+	tr, streamPath, owns, closer, remote, err := buildTrace(scale, w)
 	if err != nil {
 		return nil, err
 	}
 	env := &Env{
 		Scale: scale, Map: m, Trace: tr, Cfg: cfg, datasets: datasets,
 		streamPath: streamPath, ownsStream: owns, traceCloser: closer,
+		remote: remote,
 	}
 	if tr.NumVehicles() != scale.Vehicles {
 		env.Close()
@@ -469,9 +497,14 @@ func (e *Env) runProtocol(ctx context.Context, name ProtocolName, lossless bool,
 
 // openRunTrace returns the mobility source for one protocol run. Resident
 // envs share Env.Trace (and return a nil closer); streamed envs open a
-// fresh window over the backing stream, because a window's cursor is
-// forward-only and concurrent harness runs each need their own.
+// fresh window over the backing stream — or over the shared remote client
+// — because a window's cursor is forward-only and concurrent harness runs
+// each need their own.
 func (e *Env) openRunTrace() (trace.Source, io.Closer, error) {
+	if e.remote != nil {
+		win := trace.NewWindowSource(e.remote, envWindowConfig())
+		return win, win, nil
+	}
 	if e.streamPath != "" {
 		win, closer, err := trace.OpenWindowFile(e.streamPath, envWindowConfig())
 		if err != nil {

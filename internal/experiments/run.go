@@ -342,6 +342,16 @@ func CommTable(runs []*ProtocolRun) *metrics.Table {
 		row("trace chunk prefetches", func(r *ProtocolRun) float64 {
 			return float64(r.Comm.Reg.Counter(telemetry.MTracePrefetches))
 		})
+		// Fetch-pipeline rows appear only when some run actually retried or
+		// blocked on a fetch — i.e. remote or degraded chunk sources.
+		if anyCount(telemetry.MTraceFetchRetries) || anyCount(telemetry.MTraceFetchWaitNs) {
+			row("trace fetch retries", func(r *ProtocolRun) float64 {
+				return float64(r.Comm.Reg.Counter(telemetry.MTraceFetchRetries))
+			})
+			row("trace fetch wait (ms)", func(r *ProtocolRun) float64 {
+				return float64(r.Comm.Reg.Counter(telemetry.MTraceFetchWaitNs)) / 1e6
+			})
+		}
 	}
 	row("final probe loss (x1000)", func(r *ProtocolRun) float64 {
 		return 1000 * r.Curve.Final()

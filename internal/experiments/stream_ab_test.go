@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"testing"
 
 	"lbchat/internal/core"
 	"lbchat/internal/telemetry"
+	"lbchat/internal/trace"
+	"lbchat/internal/traceserve"
 )
 
 // TestMain closes the package's shared envs so the streamed env's temporary
@@ -78,20 +81,52 @@ func TestStreamABDeterminism(t *testing.T) {
 		t.Fatal("resident reference run emitted no events")
 	}
 	streamed := getStreamedEnv(t)
-	for _, shards := range []int{1, 2, 4} {
-		for _, workers := range []int{1, 4, 8} {
-			run, stream := runWith(streamed, shards, workers)
-			if len(stream) != len(refStream) {
-				t.Fatalf("shards=%d workers=%d: %d events, resident reference %d",
-					shards, workers, len(stream), len(refStream))
-			}
-			for i := range stream {
-				if !bytes.Equal(stream[i], refStream[i]) {
-					t.Fatalf("shards=%d workers=%d: event %d differs:\nstreamed: %s\nresident: %s",
-						shards, workers, i, stream[i], refStream[i])
+
+	// Third arm: the same spilled LBTC stream, but paged over localhost
+	// through a trace-serve chunk server — the remote runs must match the
+	// resident reference byte for byte too.
+	fileSrc, err := trace.OpenFileSource(streamed.streamPath)
+	if err != nil {
+		t.Fatalf("indexing spill: %v", err)
+	}
+	defer fileSrc.Close()
+	srv, err := traceserve.NewServer(fileSrc, traceserve.ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	client, err := traceserve.Dial(hs.URL, traceserve.ClientConfig{})
+	if err != nil {
+		t.Fatalf("dialing chunk server: %v", err)
+	}
+	defer client.Close()
+	remoteEnv := *streamed
+	remoteEnv.remote = client
+	remoteEnv.streamPath, remoteEnv.ownsStream, remoteEnv.traceCloser = "", false, nil
+
+	for _, arm := range []struct {
+		name string
+		env  *Env
+	}{
+		{"streamed", streamed},
+		{"remote", &remoteEnv},
+	} {
+		for _, shards := range []int{1, 2, 4} {
+			for _, workers := range []int{1, 4, 8} {
+				run, stream := runWith(arm.env, shards, workers)
+				if len(stream) != len(refStream) {
+					t.Fatalf("%s shards=%d workers=%d: %d events, resident reference %d",
+						arm.name, shards, workers, len(stream), len(refStream))
 				}
+				for i := range stream {
+					if !bytes.Equal(stream[i], refStream[i]) {
+						t.Fatalf("%s shards=%d workers=%d: event %d differs:\n%s: %s\nresident: %s",
+							arm.name, shards, workers, i, arm.name, stream[i], refStream[i])
+					}
+				}
+				sameRun(t, arm.name+" vs resident", run, refRun)
 			}
-			sameRun(t, "streamed vs resident", run, refRun)
 		}
 	}
 }

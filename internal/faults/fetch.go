@@ -1,0 +1,58 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// FetchConfig parameterizes chunk-fetch fault injection at the trace chunk
+// server (internal/traceserve): added per-request latency and a
+// probability of failing a request outright. It exercises the client's
+// retry-with-backoff and the window's adaptive prefetch depth without a
+// real degraded network. The zero value disables injection.
+//
+// Injection is server-side and request-scoped: a lost request surfaces to
+// the client as a 503, which the client retries, so — as with every other
+// fault class — simulation results stay bit-identical; only fetch timing
+// and retry counters change.
+type FetchConfig struct {
+	// Latency is added to every chunk response before the first body byte.
+	Latency time.Duration
+	// LossProb is the probability that a chunk request is dropped (served
+	// as a 503) instead of answered.
+	LossProb float64
+	// Seed drives the loss draws; requests are counted, so a fixed seed
+	// yields a reproducible loss pattern per server lifetime.
+	Seed uint64
+}
+
+// Enabled reports whether any fetch fault is configured.
+func (c FetchConfig) Enabled() bool { return c.Latency > 0 || c.LossProb > 0 }
+
+// Validate reports configuration errors.
+func (c FetchConfig) Validate() error {
+	if c.Latency < 0 {
+		return fmt.Errorf("faults: negative fetch latency %v", c.Latency)
+	}
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("faults: invalid fetch loss probability %g", c.LossProb)
+	}
+	return nil
+}
+
+// FetchByName resolves a -fetch-faults flag value to a profile: "off" (or
+// empty), "slow" (WAN-ish latency), "lossy" (drops without latency), or
+// "flaky" (both).
+func FetchByName(name string) (FetchConfig, error) {
+	switch name {
+	case "", "off", "none":
+		return FetchConfig{}, nil
+	case "slow":
+		return FetchConfig{Latency: 20 * time.Millisecond, Seed: 1}, nil
+	case "lossy":
+		return FetchConfig{LossProb: 0.1, Seed: 1}, nil
+	case "flaky":
+		return FetchConfig{Latency: 10 * time.Millisecond, LossProb: 0.1, Seed: 1}, nil
+	}
+	return FetchConfig{}, fmt.Errorf("faults: unknown fetch profile %q (want off, slow, lossy, or flaky)", name)
+}

@@ -53,6 +53,14 @@ type TraceChunk struct {
 	Chunk, Ticks int
 	// Resident is the retained chunk count after the operation.
 	Resident int
+	// Depth is the adaptive prefetch depth in effect at the operation.
+	Depth int
+	// Retries counts transport-level retries the chunk's fetch needed
+	// (loads from a remote chunk source; zero locally).
+	Retries int
+	// WaitNs is how long the window's Advance blocked waiting for this
+	// chunk's fetch (loads only); zero means the prefetcher hid it.
+	WaitNs int64
 }
 
 // TraceObserver receives streaming-trace chunk operations from the engine.

@@ -38,10 +38,13 @@ const (
 	MShardGuests = "shard.guests"
 	MShardLocals = "shard.locals"
 
-	MTraceLoads      = "trace.chunk_loads"
-	MTraceEvicts     = "trace.chunk_evicts"
-	MTracePrefetches = "trace.chunk_prefetches"
-	MTraceResident   = "trace.resident_chunks"
+	MTraceLoads         = "trace.chunk_loads"
+	MTraceEvicts        = "trace.chunk_evicts"
+	MTracePrefetches    = "trace.chunk_prefetches"
+	MTraceResident      = "trace.resident_chunks"
+	MTraceFetchRetries  = "trace.chunk_fetch_retries"
+	MTraceFetchWaitNs   = "trace.chunk_fetch_wait_ns"
+	MTracePrefetchDepth = "trace.chunk_prefetch_depth"
 
 	MFaultsInjected = "fault.injected"
 	MChatResumed    = "chat.resumed"
@@ -49,6 +52,27 @@ const (
 	MSalvages       = "salvage.count"
 	MSalvageFrames  = "salvage.frames"
 )
+
+// KnownMetrics lists every canonical metric name a Summary can emit, for
+// validators (cmd/telemetry-lint -summary) to check CSV dumps against.
+// Per-fault counters ("fault.<name>") are dynamic and not listed; accept
+// any name under the "fault." prefix alongside this list.
+func KnownMetrics() []string {
+	return []string{
+		MChatInitiated, MChatCompleted, MChatAborted, MChatElapsedS, MChatPsi,
+		MTransModel, MTransModelOK, MBytesModelReq, MBytesModelGot,
+		MTransCoreset, MTransCoresetOK, MBytesCoresetReq, MBytesCoresetGot,
+		MTransferBytes, MTransferTruncate,
+		MAggregations, MAggWPeer,
+		MCoresetAbsorbFrames, MCoresetEvictFrames, MCoresetRebuilds,
+		MContactsOpened, MContactDuration,
+		MTrainSteps, MTrainWallNs,
+		MShardScans, MShardPairs, MShardGuests, MShardLocals,
+		MTraceLoads, MTraceEvicts, MTracePrefetches, MTraceResident,
+		MTraceFetchRetries, MTraceFetchWaitNs, MTracePrefetchDepth,
+		MFaultsInjected, MChatResumed, MResumeSavedB, MSalvages, MSalvageFrames,
+	}
+}
 
 // Fixed bucket edges for the Summary histograms. Fixed across runs so
 // per-protocol summaries are directly comparable.
@@ -61,6 +85,7 @@ var (
 	trainNsEdges  = []float64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9}
 	localsEdges   = []float64{16, 64, 256, 1024, 4096, 16384}
 	residentEdges = []float64{1, 2, 3, 4, 6, 8, 16}
+	depthEdges    = []float64{1, 2, 3, 4, 6, 8, 16}
 )
 
 // Summary is the always-cheap aggregating sink: it folds the event stream
@@ -173,10 +198,17 @@ func (s *Summary) ObserveTraceChunk(op TraceChunk) {
 	switch op.Op {
 	case "load":
 		s.Reg.Inc(MTraceLoads, 1)
+		if op.Retries > 0 {
+			s.Reg.Inc(MTraceFetchRetries, int64(op.Retries))
+		}
+		if op.WaitNs > 0 {
+			s.Reg.Inc(MTraceFetchWaitNs, op.WaitNs)
+		}
 	case "evict":
 		s.Reg.Inc(MTraceEvicts, 1)
 	case "prefetch":
 		s.Reg.Inc(MTracePrefetches, 1)
+		s.Reg.Observe(MTracePrefetchDepth, depthEdges, float64(op.Depth))
 	}
 	s.Reg.Observe(MTraceResident, residentEdges, float64(op.Resident))
 }

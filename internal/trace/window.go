@@ -4,7 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"os"
+	"math"
+	"time"
 
 	"lbchat/internal/geom"
 )
@@ -18,18 +19,29 @@ const (
 	DefaultWindowAhead  = 150.0
 )
 
+// DefaultPrefetchBudget bounds the adaptive readahead: the window never
+// keeps more than this many chunk fetches in flight, no matter what the
+// observed fetch latency asks for. Chosen so a worst-case prefetch pipeline
+// stays a small multiple of the retained window itself.
+const DefaultPrefetchBudget = 8
+
 // WindowConfig sizes a sliding window.
 type WindowConfig struct {
 	// Behind and Ahead are the retained span around the cursor in
 	// seconds. Non-positive values take the package defaults.
 	Behind float64
 	Ahead  float64
-	// Prefetch reads the chunk just past the leading edge on a background
-	// goroutine so a steady-state Advance rarely blocks on decode. It
-	// never changes results or the telemetry event stream — chunk
+	// Prefetch reads chunks past the leading edge on background
+	// goroutines so a steady-state Advance rarely blocks on fetch or
+	// decode. The readahead depth adapts to the observed cursor rate and
+	// chunk fetch latency (see DESIGN.md §13), clamped by PrefetchBudget.
+	// It never changes results or the telemetry event stream — chunk
 	// operations are reported through the side-channel observer only, and
 	// always from the Advance goroutine.
 	Prefetch bool
+	// PrefetchBudget caps the in-flight fetch count; 0 takes
+	// DefaultPrefetchBudget, 1 pins the fixed one-chunk readahead.
+	PrefetchBudget int
 }
 
 // ChunkOpKind classifies a window chunk operation.
@@ -40,7 +52,7 @@ const (
 	OpLoad ChunkOpKind = iota
 	// OpEvict: a chunk fell behind the trailing edge and was recycled.
 	OpEvict
-	// OpPrefetch: a background read of the next chunk was issued.
+	// OpPrefetch: a background read of an upcoming chunk was issued.
 	OpPrefetch
 )
 
@@ -58,13 +70,23 @@ func (k ChunkOpKind) String() string {
 }
 
 // ChunkOp describes one window chunk operation for the side-channel
-// observer: which chunk, how many ticks it covers, and how many chunks the
-// window retains after the operation.
+// observer: which chunk, how many ticks it covers, how many chunks the
+// window retains after the operation, and — for loads and prefetch issues —
+// how the adaptive fetch pipeline behaved.
 type ChunkOp struct {
 	Kind     ChunkOpKind
 	Chunk    int
 	Ticks    int
 	Resident int
+	// Depth is the prefetch depth in effect when the operation happened
+	// (1 when prefetch is off).
+	Depth int
+	// Retries counts transport-level retries the chunk's fetch needed
+	// (loads only; always zero for local sources).
+	Retries int
+	// WaitNs is how long Advance blocked waiting for this chunk's fetch
+	// (loads only): zero means the prefetcher fully hid the fetch.
+	WaitNs int64
 }
 
 // WindowViolation is the panic value raised when a lookup reaches outside
@@ -83,13 +105,14 @@ func (v *WindowViolation) Error() string {
 		v.Tick, v.Lo, v.Hi, v.Cursor)
 }
 
-// ChunkError annotates a chunk decode failure with its stream position so
-// mid-stream corruption reports where the trace broke, not just how.
+// ChunkError annotates a chunk fetch or decode failure with its stream
+// position so mid-stream corruption (or a failing chunk server) reports
+// where the trace broke, not just how.
 type ChunkError struct {
 	// Chunk is the chunk index in the stream; FirstTick the first tick it
 	// covers.
 	Chunk, FirstTick int
-	// Err is the underlying decode error.
+	// Err is the underlying fetch or decode error.
 	Err error
 }
 
@@ -99,16 +122,26 @@ func (e *ChunkError) Error() string {
 
 func (e *ChunkError) Unwrap() error { return e.Err }
 
-// prefetched carries a background chunk read back to Advance.
-type prefetched struct {
-	pts []geom.Point
-	err error
+// fetchResult carries a background chunk fetch back to Advance.
+type fetchResult struct {
+	pts     []geom.Point
+	ticks   int
+	retries int
+	latency time.Duration
+	err     error
 }
 
-// Window is a bounded sliding-window Source over a ChunkReader: it keeps
+// ewmaAlpha weighs new fetch-latency and cursor-rate samples; high enough
+// to track a phase change within a few chunks, low enough not to thrash on
+// one slow fetch.
+const ewmaAlpha = 0.3
+
+// Window is a bounded sliding-window Source over a ChunkSource: it keeps
 // only the chunks covering [cursor−Behind, cursor+Ahead], evicting behind
 // the cursor and loading (or prefetching) ahead, so a full co-simulation's
-// trace working set is O(window) chunks regardless of trace length.
+// trace working set is O(window) chunks regardless of trace length — and
+// regardless of whether chunks come from a local file or a remote chunk
+// server (internal/traceserve).
 //
 // The cursor moves forward only: Advance must be called with
 // non-decreasing ticks, and lookups outside the retained span panic with
@@ -117,7 +150,7 @@ type prefetched struct {
 // makes the single-goroutine contract (plus the internal prefetch
 // handshake) sound.
 type Window struct {
-	cr         *ChunkReader
+	src        ChunkSource
 	totalTicks int
 	dt         float64
 	vehicles   int
@@ -127,45 +160,73 @@ type Window struct {
 	behindTicks int
 	aheadTicks  int
 	prefetch    bool
+	budget      int
 
 	advanced bool
 	cursor   int
 	lo       int // first retained chunk index
-	next     int // next chunk index the reader will yield; retained = [lo, next)
+	next     int // next chunk index Advance will deliver; retained = [lo, next)
+	issued   int // next chunk index the prefetcher will issue; inflight = [next, issued)
 	chunks   [][]geom.Point
 	free     [][]geom.Point
-	pending  chan prefetched // outstanding background read of chunk `next`
+	inflight map[int]chan fetchResult
 	onOp     func(ChunkOp)
 	err      error // sticky load error; poisons the window
 
+	// Adaptive-depth state: the prefetch depth is re-derived every Advance
+	// from the observed cursor rate (ticks/s of wall time, stall time
+	// excluded) and chunk fetch latency, then clamped by the budget.
+	depth       int
+	latEWMA     float64 // seconds per chunk fetch
+	rateEWMA    float64 // cursor ticks per wall second
+	lastAdv     time.Time
+	lastAdvTick int
+	stallNs     int64         // fetch-wait time since the last rate sample
+	stalled     bool          // a load blocked since the last depth update
+	crossedSeam bool          // a chunk was loaded since the last depth update
+	lastWait    time.Duration // most recent load's blocking time
+
 	loads, evicts, prefetches int
+	retries                   int
+	waitNs                    int64
 }
 
-// NewWindow wraps a positioned ChunkReader (fresh from NewChunkReader) in
-// a sliding window over totalTicks ticks. The LBTC header does not carry a
-// total tick count, so the caller supplies it — from the recorder that
-// produced the stream, or via CountTicks over a seekable file.
-func NewWindow(cr *ChunkReader, totalTicks int, cfg WindowConfig) *Window {
-	if totalTicks < 0 {
-		totalTicks = 0
-	}
+// NewWindowSource wraps a random-access ChunkSource in a sliding window.
+// The source's total tick count sizes the window's chunk arithmetic.
+func NewWindowSource(src ChunkSource, cfg WindowConfig) *Window {
 	if cfg.Behind <= 0 {
 		cfg.Behind = DefaultWindowBehind
 	}
 	if cfg.Ahead <= 0 {
 		cfg.Ahead = DefaultWindowAhead
 	}
-	w := &Window{
-		cr:         cr,
-		totalTicks: totalTicks,
-		dt:         cr.DT(),
-		vehicles:   cr.NumVehicles(),
-		chunkTicks: cr.ChunkTicks(),
-		prefetch:   cfg.Prefetch,
+	if cfg.PrefetchBudget <= 0 {
+		cfg.PrefetchBudget = DefaultPrefetchBudget
 	}
-	w.numChunks = (totalTicks + w.chunkTicks - 1) / w.chunkTicks
+	w := &Window{
+		src:        src,
+		totalTicks: src.NumTicks(),
+		dt:         src.DT(),
+		vehicles:   src.NumVehicles(),
+		chunkTicks: src.ChunkTicks(),
+		prefetch:   cfg.Prefetch,
+		budget:     cfg.PrefetchBudget,
+		depth:      1,
+		inflight:   make(map[int]chan fetchResult),
+	}
+	w.numChunks = NumChunks(w.totalTicks, w.chunkTicks)
 	w.Reserve(cfg.Behind, cfg.Ahead)
 	return w
+}
+
+// NewWindow wraps a positioned ChunkReader (fresh from NewChunkReader) in
+// a sliding window over totalTicks ticks. The LBTC header does not carry a
+// total tick count, so the caller supplies it — from the recorder that
+// produced the stream, or via CountTicks over a seekable file. Prefetches
+// against a sequential reader pipeline in stream order; random-access
+// sources (OpenFileSource, traceserve.Dial) fetch concurrently.
+func NewWindow(cr *ChunkReader, totalTicks int, cfg WindowConfig) *Window {
+	return NewWindowSource(NewSequentialSource(cr, totalTicks), cfg)
 }
 
 // DT returns the tick interval in seconds.
@@ -224,10 +285,21 @@ func (w *Window) Stats() (loads, evicts, prefetches int) {
 	return w.loads, w.evicts, w.prefetches
 }
 
+// FetchStats returns the window's lifetime fetch-pipeline counters: total
+// transport retries across all chunk fetches, and the total time Advance
+// spent blocked waiting for fetches.
+func (w *Window) FetchStats() (retries int, waitNs int64) {
+	return w.retries, w.waitNs
+}
+
+// PrefetchDepth returns the current adaptive readahead depth (1 when
+// prefetch is off or nothing has been measured yet).
+func (w *Window) PrefetchDepth() int { return w.depth }
+
 // Advance moves the cursor to the given tick (clamped to the trace
 // extent), loading chunks up to the leading edge and evicting those fully
 // behind the trailing edge. The cursor is monotone: moving it backward is
-// an error. A chunk decode failure is returned as a *ChunkError and
+// an error. A chunk fetch failure is returned as a *ChunkError and
 // poisons the window.
 func (w *Window) Advance(tick int) error {
 	if w.err != nil {
@@ -244,6 +316,9 @@ func (w *Window) Advance(tick int) error {
 	}
 	if w.advanced && tick < w.cursor {
 		return fmt.Errorf("trace: window cursor moved backward to tick %d (cursor at %d)", tick, w.cursor)
+	}
+	if w.prefetch {
+		w.observeRate(tick)
 	}
 	w.advanced = true
 	w.cursor = tick
@@ -267,37 +342,141 @@ func (w *Window) Advance(tick int) error {
 	for w.lo < wantLo && w.lo < w.next {
 		w.evictFront()
 	}
-	if w.prefetch && w.pending == nil && w.next < w.numChunks {
-		w.issuePrefetch()
+	if w.prefetch {
+		w.updateDepth()
+		w.issuePrefetches()
 	}
 	return nil
 }
 
-// loadNext appends chunk w.next to the retained window, absorbing an
-// outstanding prefetch if one covers it.
-func (w *Window) loadNext() error {
-	idx := w.next
-	var buf []geom.Point
-	if w.pending != nil {
-		res := <-w.pending
-		w.pending = nil
-		if res.err != nil {
-			return res.err
+// observeRate folds the cursor's advance rate (ticks per wall second,
+// excluding time spent blocked on fetches) into its EWMA. Wall time feeds
+// only the prefetch depth — results and the telemetry event stream are
+// identical no matter what the clock says.
+func (w *Window) observeRate(tick int) {
+	now := time.Now()
+	if !w.lastAdv.IsZero() && tick > w.lastAdvTick {
+		elapsed := now.Sub(w.lastAdv) - time.Duration(w.stallNs)
+		if elapsed > 0 {
+			rate := float64(tick-w.lastAdvTick) / elapsed.Seconds()
+			if w.rateEWMA == 0 {
+				w.rateEWMA = rate
+			} else {
+				w.rateEWMA += ewmaAlpha * (rate - w.rateEWMA)
+			}
 		}
-		buf = res.pts
+		w.lastAdv, w.lastAdvTick, w.stallNs = now, tick, 0
+	} else if w.lastAdv.IsZero() {
+		w.lastAdv, w.lastAdvTick = now, tick
+	}
+}
+
+// observeLatency folds one fetch-latency sample into its EWMA.
+func (w *Window) observeLatency(d time.Duration) {
+	s := d.Seconds()
+	if w.latEWMA == 0 {
+		w.latEWMA = s
 	} else {
-		var err error
-		buf, err = w.readChunk(idx, w.grabBuf(idx))
-		if err != nil {
-			return err
+		w.latEWMA += ewmaAlpha * (s - w.latEWMA)
+	}
+}
+
+// updateDepth re-derives the adaptive readahead depth: enough in-flight
+// fetches to cover the chunks the cursor will cross during one fetch
+// latency (latency × rate / chunkTicks), plus one for the seam in
+// progress; bumped past the current depth whenever a load still blocked,
+// and clamped to [1, budget].
+func (w *Window) updateDepth() {
+	target := 1
+	if w.latEWMA > 0 && w.rateEWMA > 0 {
+		target = 1 + int(math.Ceil(w.latEWMA*w.rateEWMA/float64(w.chunkTicks)))
+	}
+	if w.stalled {
+		if t := w.depth + 1; t > target {
+			target = t
+		}
+		w.stalled = false
+	}
+	// Grow to the target at once, but decay at most one step per chunk
+	// crossed: Advance runs every tick, so letting each of the hundreds of
+	// intra-chunk updates step the depth down would collapse the pipeline
+	// microseconds after one fast rate sample. A too-deep readahead wastes
+	// a little memory; a too-shallow one stalls the cursor for a full
+	// fetch latency.
+	if target < w.depth {
+		if w.crossedSeam {
+			target = w.depth - 1
+		} else {
+			target = w.depth
 		}
 	}
-	w.chunks = append(w.chunks, buf)
+	w.crossedSeam = false
+	if target > w.budget {
+		target = w.budget
+	}
+	if target < 1 {
+		target = 1
+	}
+	w.depth = target
+}
+
+// loadNext appends chunk w.next to the retained window, absorbing its
+// in-flight prefetch if one was issued, or fetching synchronously.
+func (w *Window) loadNext() error {
+	idx := w.next
+	var res fetchResult
+	if ch, ok := w.inflight[idx]; ok {
+		start := time.Now()
+		res = <-ch
+		wait := time.Since(start)
+		delete(w.inflight, idx)
+		// res.latency keeps the goroutine's full fetch duration: the depth
+		// target must plan for what a fetch truly costs, not for the wait a
+		// lucky prefetch happened to hide — feeding hidden (near-zero) waits
+		// into the EWMA collapses the depth and reintroduces the stalls.
+		w.noteWait(wait)
+	} else {
+		start := time.Now()
+		cf, err := w.src.ReadChunk(idx, w.grabBuf(idx))
+		res = fetchResult{pts: cf.Pts, ticks: cf.Ticks, retries: cf.Retries, err: err, latency: time.Since(start)}
+		w.noteWait(res.latency)
+	}
+	if res.err != nil {
+		return &ChunkError{Chunk: idx, FirstTick: idx * w.chunkTicks, Err: res.err}
+	}
+	if want := w.ticksIn(idx); res.ticks != want {
+		return &ChunkError{Chunk: idx, FirstTick: idx * w.chunkTicks,
+			Err: fmt.Errorf("chunk holds %d ticks, expected %d", res.ticks, want)}
+	}
+	w.observeLatency(res.latency)
+	w.retries += res.retries
+	w.chunks = append(w.chunks, res.pts)
 	w.next++
+	if w.issued < w.next {
+		w.issued = w.next
+	}
 	w.loads++
-	w.emit(ChunkOp{Kind: OpLoad, Chunk: idx, Ticks: w.ticksIn(idx), Resident: len(w.chunks)})
+	w.crossedSeam = true
+	w.emit(ChunkOp{Kind: OpLoad, Chunk: idx, Ticks: w.ticksIn(idx), Resident: len(w.chunks),
+		Depth: w.depth, Retries: res.retries, WaitNs: w.lastWaitNs()})
 	return nil
 }
+
+// noteWait records time Advance spent blocked on a fetch, feeding the
+// stall accounting that keeps the rate EWMA honest and the depth bump.
+func (w *Window) noteWait(d time.Duration) {
+	w.lastWait = d
+	if d <= 0 {
+		return
+	}
+	w.waitNs += d.Nanoseconds()
+	w.stallNs += d.Nanoseconds()
+	w.stalled = true
+}
+
+// lastWait is the most recent load's blocking time, surfaced on its
+// ChunkOp.
+func (w *Window) lastWaitNs() int64 { return w.lastWait.Nanoseconds() }
 
 // evictFront recycles the oldest retained chunk.
 func (w *Window) evictFront() {
@@ -308,43 +487,29 @@ func (w *Window) evictFront() {
 	w.free = append(w.free, buf)
 	w.lo++
 	w.evicts++
-	w.emit(ChunkOp{Kind: OpEvict, Chunk: idx, Ticks: w.ticksIn(idx), Resident: len(w.chunks)})
+	w.emit(ChunkOp{Kind: OpEvict, Chunk: idx, Ticks: w.ticksIn(idx), Resident: len(w.chunks), Depth: w.depth})
 }
 
-// issuePrefetch starts a background read of chunk w.next. The buffer is
-// taken from the free list on this goroutine, so the background read
-// touches only the ChunkReader and its private buffer; Advance absorbs the
-// result (blocking if necessary) before it reads the stream again.
-func (w *Window) issuePrefetch() {
-	idx := w.next
-	buf := w.grabBuf(idx)
-	ch := make(chan prefetched, 1)
-	w.pending = ch
-	w.prefetches++
-	w.emit(ChunkOp{Kind: OpPrefetch, Chunk: idx, Ticks: w.ticksIn(idx), Resident: len(w.chunks)})
-	go func() {
-		pts, err := w.readChunk(idx, buf)
-		ch <- prefetched{pts: pts, err: err}
-	}()
-}
-
-// readChunk decodes the next stream chunk (expected to be chunk idx) into
-// buf, annotating any failure with the chunk's stream position.
-func (w *Window) readChunk(idx int, buf []geom.Point) ([]geom.Point, error) {
-	pts, ticks, err := w.cr.Next()
-	if err != nil {
-		if err == io.EOF {
-			err = fmt.Errorf("stream ended %d chunks early", w.numChunks-idx)
-		}
-		return nil, &ChunkError{Chunk: idx, FirstTick: idx * w.chunkTicks, Err: err}
+// issuePrefetches tops the fetch pipeline up to the current depth:
+// background reads of chunks [issued, …) until depth fetches are in
+// flight or the stream ends. Buffers are taken from the free list on this
+// goroutine; each background read touches only the ChunkSource and its
+// private buffer.
+func (w *Window) issuePrefetches() {
+	for len(w.inflight) < w.depth && w.issued < w.numChunks {
+		idx := w.issued
+		buf := w.grabBuf(idx)
+		ch := make(chan fetchResult, 1)
+		w.inflight[idx] = ch
+		w.issued++
+		w.prefetches++
+		w.emit(ChunkOp{Kind: OpPrefetch, Chunk: idx, Ticks: w.ticksIn(idx), Resident: len(w.chunks), Depth: w.depth})
+		go func() {
+			start := time.Now()
+			cf, err := w.src.ReadChunk(idx, buf)
+			ch <- fetchResult{pts: cf.Pts, ticks: cf.Ticks, retries: cf.Retries, err: err, latency: time.Since(start)}
+		}()
 	}
-	if want := w.ticksIn(idx); ticks != want {
-		return nil, &ChunkError{Chunk: idx, FirstTick: idx * w.chunkTicks,
-			Err: fmt.Errorf("chunk holds %d ticks, expected %d", ticks, want)}
-	}
-	buf = buf[:len(pts)]
-	copy(buf, pts)
-	return buf, nil
 }
 
 // grabBuf returns a recycled (or fresh) buffer sized for chunk idx.
@@ -375,13 +540,13 @@ func (w *Window) emit(op ChunkOp) {
 	}
 }
 
-// Close drains any outstanding prefetch so no background read races the
-// underlying reader's teardown. It does not close the reader's underlying
-// stream — OpenWindowFile's closer owns that.
+// Close drains outstanding prefetches so no background read races the
+// underlying source's teardown. It does not close the source —
+// OpenWindowFile's closer owns that.
 func (w *Window) Close() error {
-	if w.pending != nil {
-		<-w.pending
-		w.pending = nil
+	for idx, ch := range w.inflight {
+		<-ch
+		delete(w.inflight, idx)
 	}
 	return nil
 }
@@ -495,40 +660,26 @@ func CountTicks(rs io.ReadSeeker) (int, error) {
 	}
 }
 
-// OpenWindowFile opens an LBTC trace file as a bounded sliding window,
-// counting its ticks with a header-only pre-scan. The returned closer owns
-// the file handle (and drains the window's prefetch) — close it when the
-// window is done.
+// OpenWindowFile opens an LBTC trace file as a bounded sliding window over
+// a random-access file source (chunk offsets indexed once at open). The
+// returned closer owns the file handle (and drains the window's
+// prefetches) — close it when the window is done.
 func OpenWindowFile(path string, cfg WindowConfig) (*Window, io.Closer, error) {
-	f, err := os.Open(path)
+	src, err := OpenFileSource(path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("trace: opening %s: %w", path, err)
-	}
-	ticks, err := CountTicks(f)
-	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("trace: counting ticks in %s: %w", path, err)
-	}
-	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("trace: rewinding %s: %w", path, err)
-	}
-	cr, err := NewChunkReader(f)
-	if err != nil {
-		f.Close()
 		return nil, nil, err
 	}
-	w := NewWindow(cr, ticks, cfg)
-	return w, &windowCloser{w: w, f: f}, nil
+	w := NewWindowSource(src, cfg)
+	return w, &windowCloser{w: w, src: src}, nil
 }
 
-// windowCloser ties a window's prefetch drain to its backing file handle.
+// windowCloser ties a window's prefetch drain to its backing source.
 type windowCloser struct {
-	w *Window
-	f *os.File
+	w   *Window
+	src ChunkSource
 }
 
 func (c *windowCloser) Close() error {
 	c.w.Close()
-	return c.f.Close()
+	return c.src.Close()
 }

@@ -1,0 +1,162 @@
+package traceserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"lbchat/internal/faults"
+	"lbchat/internal/simrand"
+	"lbchat/internal/trace"
+)
+
+// Meta is the /v1/meta payload: the LBTC stream header plus the totals a
+// random-access client needs up front.
+type Meta struct {
+	DT         float64 `json:"dt"`
+	Vehicles   int     `json:"vehicles"`
+	ChunkTicks int     `json:"chunk_ticks"`
+	TotalTicks int     `json:"total_ticks"`
+	NumChunks  int     `json:"num_chunks"`
+}
+
+// Chunk response headers.
+const (
+	// HeaderTicks carries the chunk's tick count (tail chunks are short).
+	HeaderTicks = "X-Lbtc-Ticks"
+	// HeaderCRC32 carries the IEEE CRC-32 of the body, lowercase hex.
+	HeaderCRC32 = "X-Lbtc-Crc32"
+)
+
+// ServerConfig parameterizes a chunk server.
+type ServerConfig struct {
+	// Faults injects per-request latency and loss (see faults.FetchConfig);
+	// the zero value serves every request immediately.
+	Faults faults.FetchConfig
+}
+
+// Server serves one LBTC trace's chunks by index over HTTP. It implements
+// http.Handler and is safe for concurrent requests: chunk reads go through
+// the indexed source's positioned-read path, and fault draws are mutex-
+// serialized.
+type Server struct {
+	src  *trace.IndexedChunkSource
+	meta Meta
+	cfg  ServerConfig
+
+	mu       sync.Mutex
+	rng      *simrand.Rand
+	requests int64
+}
+
+// NewServer wraps an indexed chunk source (see trace.OpenFileSource) in a
+// chunk-serving handler. The server does not own the source; close it
+// after the HTTP server shuts down.
+func NewServer(src *trace.IndexedChunkSource, cfg ServerConfig) (*Server, error) {
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		src: src,
+		meta: Meta{
+			DT:         src.DT(),
+			Vehicles:   src.NumVehicles(),
+			ChunkTicks: src.ChunkTicks(),
+			TotalTicks: src.NumTicks(),
+			NumChunks:  src.NumChunks(),
+		},
+		cfg: cfg,
+	}
+	if cfg.Faults.Enabled() {
+		s.rng = simrand.New(cfg.Faults.Seed).Derive("traceserve")
+	}
+	return s, nil
+}
+
+// Meta returns the served stream's header metadata.
+func (s *Server) Meta() Meta { return s.meta }
+
+// Requests returns how many requests the server has handled.
+func (s *Server) Requests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests
+}
+
+// injectFaults applies the configured per-request latency and loss draw.
+// It reports whether the request should be dropped.
+func (s *Server) injectFaults() bool {
+	if !s.cfg.Faults.Enabled() {
+		s.mu.Lock()
+		s.requests++
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Lock()
+	s.requests++
+	drop := s.cfg.Faults.LossProb > 0 && s.rng.Bernoulli(s.cfg.Faults.LossProb)
+	s.mu.Unlock()
+	if s.cfg.Faults.Latency > 0 {
+		time.Sleep(s.cfg.Faults.Latency)
+	}
+	return drop
+}
+
+// ServeHTTP routes /v1/meta and /v1/chunk/<idx>.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	switch {
+	case r.URL.Path == "/v1/meta":
+		if s.injectFaults() {
+			http.Error(w, "injected fetch loss", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.meta)
+	case strings.HasPrefix(r.URL.Path, "/v1/chunk/"):
+		s.serveChunk(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveChunk streams one chunk body with its length, tick-count, and
+// checksum headers.
+func (s *Server) serveChunk(w http.ResponseWriter, r *http.Request) {
+	idxStr := strings.TrimPrefix(r.URL.Path, "/v1/chunk/")
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil || idx < 0 {
+		http.Error(w, fmt.Sprintf("bad chunk index %q", idxStr), http.StatusBadRequest)
+		return
+	}
+	if idx >= s.meta.NumChunks {
+		http.Error(w, fmt.Sprintf("chunk %d outside stream of %d chunks", idx, s.meta.NumChunks), http.StatusNotFound)
+		return
+	}
+	if s.injectFaults() {
+		http.Error(w, "injected fetch loss", http.StatusServiceUnavailable)
+		return
+	}
+	body, ticks, err := s.src.ReadRawChunk(idx, nil)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	h.Set(HeaderTicks, strconv.Itoa(ticks))
+	h.Set(HeaderCRC32, fmt.Sprintf("%08x", crc32.ChecksumIEEE(body)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(body)
+}
