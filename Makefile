@@ -10,7 +10,7 @@ STATICCHECK_VERSION ?= 2025.1
 # cmd/bench-compare diffs a candidate file against the committed
 # $(BENCH_BASELINE) and fails on >15% ns/op regressions for the hot paths,
 # then prints the per-benchmark trend across the history file.
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR9.json
 BENCH_JSON ?= $(BENCH_BASELINE)
 BENCH_HISTORY ?= BENCH_HISTORY.jsonl
 BENCH_LABEL ?= local
@@ -18,7 +18,7 @@ BENCH_FILTER := BenchmarkCandidatePairs|BenchmarkWorldTick|BenchmarkBEV|Benchmar
 BENCH_HOT := CandidatePairs,WorldTick,ShardScan,EnsureCoreset,AbsorbCoreset,WindowRowAt
 BENCH_PKGS := ./internal/core/ ./internal/world/ ./internal/shard/ ./internal/trace/
 
-.PHONY: build vet lint test race bench bench-json bench-compare bench-pprof scale-smoke telemetry-smoke stream-smoke remote-stream-smoke doccheck ci
+.PHONY: build vet lint test race bench bench-json bench-compare bench-pprof scale-smoke telemetry-smoke stream-smoke remote-stream-smoke coreset-smoke doccheck ci
 
 build:
 	$(GO) build ./...
@@ -133,6 +133,33 @@ remote-stream-smoke:
 		$(TMPDIR_REMOTE)/remote.jsonl
 	rm -rf $(TMPDIR_REMOTE)
 
+# A/B check of the coreset refresh arms under the race detector. The two
+# arms are distinct sampling processes, so the check is within-arm
+# determinism: each arm's telemetry event stream must be byte-identical
+# between a serial run and a parallel sharded run (leaf/merge cache stats
+# flow through a side channel, never the event stream) — and the arms must
+# actually differ from each other, proving -full-coreset-rebuild switches
+# the refresh path.
+coreset-smoke:
+	$(eval TMPDIR_CORESET := $(shell mktemp -d))
+	$(GO) run -race ./cmd/lbchat-sim -scale test -vehicles 4 -duration 120 \
+		-workers 1 -telemetry-out $(TMPDIR_CORESET)/inc-serial.jsonl > /dev/null
+	$(GO) run -race ./cmd/lbchat-sim -scale test -vehicles 4 -duration 120 \
+		-workers 4 -shards 2 -telemetry-out $(TMPDIR_CORESET)/inc-parallel.jsonl > /dev/null
+	cmp $(TMPDIR_CORESET)/inc-serial.jsonl $(TMPDIR_CORESET)/inc-parallel.jsonl
+	$(GO) run -race ./cmd/lbchat-sim -scale test -vehicles 4 -duration 120 \
+		-full-coreset-rebuild -workers 1 \
+		-telemetry-out $(TMPDIR_CORESET)/full-serial.jsonl > /dev/null
+	$(GO) run -race ./cmd/lbchat-sim -scale test -vehicles 4 -duration 120 \
+		-full-coreset-rebuild -workers 4 -shards 2 \
+		-telemetry-out $(TMPDIR_CORESET)/full-parallel.jsonl > /dev/null
+	cmp $(TMPDIR_CORESET)/full-serial.jsonl $(TMPDIR_CORESET)/full-parallel.jsonl
+	@if cmp -s $(TMPDIR_CORESET)/inc-serial.jsonl $(TMPDIR_CORESET)/full-serial.jsonl; then \
+		echo "coreset-smoke: -full-coreset-rebuild produced an identical stream; arm flag is not wired"; \
+		exit 1; \
+	fi
+	rm -rf $(TMPDIR_CORESET)
+
 # Every internal package must carry its godoc in a dedicated doc.go opening
 # with the canonical "// Package <name>" sentence.
 doccheck:
@@ -145,4 +172,4 @@ doccheck:
 		fi; \
 	done; exit $$fail
 
-ci: build vet doccheck lint test race telemetry-smoke stream-smoke remote-stream-smoke
+ci: build vet doccheck lint test race telemetry-smoke stream-smoke remote-stream-smoke coreset-smoke

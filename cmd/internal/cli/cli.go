@@ -1,6 +1,7 @@
 // Package cli collects the flag handling shared by the lbchat commands so
 // -seed, -workers, -shards, -scale, -faults, -telemetry-out, -stream-trace,
-// -trace-file, and -trace-url parse and behave identically everywhere.
+// -trace-file, -trace-url, and -full-coreset-rebuild parse and behave
+// identically everywhere.
 package cli
 
 import (
@@ -41,6 +42,11 @@ type Common struct {
 	// FaultsName names the fault-injection profile (-faults): off, light,
 	// heavy (internal/faults). Resolve it with Faults.
 	FaultsName string
+	// FullCoresetRebuild selects the original full Algorithm-1 coreset
+	// rebuild (-full-coreset-rebuild) instead of the default incremental
+	// partition-tree refresh (DESIGN.md §14). Each arm is individually
+	// bit-identical at any -workers/-shards setting.
+	FullCoresetRebuild bool
 	// StreamTrace drives engine runs from a bounded sliding-window trace
 	// source (-stream-trace) instead of holding the whole mobility trace
 	// resident. Results are bit-identical either way.
@@ -72,6 +78,8 @@ func Register(fs *flag.FlagSet) *Common {
 		"write the run's telemetry event stream as JSONL to this file")
 	fs.StringVar(&c.FaultsName, "faults", "off",
 		"fault-injection profile: off, light, or heavy (burst loss, window truncation, churn, corruption)")
+	fs.BoolVar(&c.FullCoresetRebuild, "full-coreset-rebuild", false,
+		"rebuild coresets with a full Algorithm-1 pass instead of the incremental partition tree")
 	fs.BoolVar(&c.StreamTrace, "stream-trace", false,
 		"stream the mobility trace through a bounded sliding window instead of holding it resident; results are bit-identical")
 	fs.StringVar(&c.TraceFile, "trace-file", "",
@@ -99,6 +107,7 @@ func (c *Common) Scale() (experiments.Scale, error) {
 	}
 	scale.Workers = c.Workers
 	scale.Shards = c.Shards
+	scale.FullCoresetRebuild = c.FullCoresetRebuild
 	scale.StreamTrace = c.StreamTrace
 	tensor.SetWorkers(c.Workers)
 	return scale, nil

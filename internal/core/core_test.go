@@ -97,6 +97,12 @@ func TestConfigValidate(t *testing.T) {
 
 // tinyEnv builds a minimal engine world for protocol tests.
 func tinyEnv(t *testing.T, vehicles int, lossless bool) (*Engine, Config) {
+	return tinyEnvWith(t, vehicles, lossless, nil)
+}
+
+// tinyEnvWith is tinyEnv with a config hook, for tests that flip engine
+// arms (e.g. DisableIncrementalCoreset) before construction.
+func tinyEnvWith(t *testing.T, vehicles int, lossless bool, mutate func(*Config)) (*Engine, Config) {
 	t.Helper()
 	m, err := world.NewMap(world.DefaultConfig())
 	if err != nil {
@@ -110,6 +116,9 @@ func tinyEnv(t *testing.T, vehicles int, lossless bool) (*Engine, Config) {
 	cfg.CoresetSize = 30
 	cfg.LayeringSample = 96
 	cfg.EvalSubset = 32
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	ras := bev.NewRasterizer(bev.DefaultConfig(), m)
 	datasets := world.CollectDataset(w, ras, cfg.Model.NumWaypoints, 200, 0.5)
 	tr := trace.Record(w, 1000, 0.5)

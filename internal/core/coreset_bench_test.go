@@ -43,35 +43,66 @@ func synthDataset(rng *simrand.Rand, cfg Config, n int) *dataset.Dataset {
 }
 
 // benchCoresetEngine builds a two-vehicle engine whose vehicles each hold a
-// synthetic local dataset of datasetLen frames.
-func benchCoresetEngine(b *testing.B, datasetLen int) *Engine {
+// synthetic local dataset of datasetLen frames; mutate adjusts the config
+// before construction (nil for defaults).
+func benchCoresetEngine(b *testing.B, datasetLen int, mutate func(*Config)) *Engine {
 	b.Helper()
+	cfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	rng := simrand.New(uint64(datasetLen))
 	datasets := []*dataset.Dataset{
-		synthDataset(rng.Derive("v0"), DefaultConfig(), datasetLen),
-		synthDataset(rng.Derive("v1"), DefaultConfig(), datasetLen),
+		synthDataset(rng.Derive("v0"), cfg, datasetLen),
+		synthDataset(rng.Derive("v1"), cfg, datasetLen),
 	}
 	tr := trace.FromRows(1, [][]geom.Point{{geom.Pt(0, 0), geom.Pt(100, 0)}})
-	eng, err := NewEngine(DefaultConfig(), tr, datasets, radio.NewModel(false), nil)
+	eng, err := NewEngine(cfg, tr, datasets, radio.NewModel(false), nil)
 	if err != nil {
 		b.Fatalf("NewEngine: %v", err)
 	}
 	return eng
 }
 
-// BenchmarkEnsureCoreset measures a full Algorithm-1 rebuild (per-sample
-// loss scoring, layering, per-layer sampling) at local-dataset sizes from a
-// fresh vehicle up to the expanded datasets absorbed from many peers. Above
-// LayeringSample (384) the layering subsample caps the scored set, so the
-// large sizes also exercise the subsample-and-rescale path.
+// BenchmarkEnsureCoreset compares the two refresh arms at local-dataset
+// sizes from a fresh vehicle up to the expanded datasets absorbed from many
+// peers.
+//
+// full: the original Algorithm-1 rebuild — per-sample loss scoring,
+// layering, per-layer sampling over the whole dataset (capped at
+// LayeringSample=384 scored samples above that size).
+//
+// incremental: the partition-tree refresh after a 128-frame tail append —
+// the steady state of a vehicle that absorbed one peer coreset since its
+// last refresh. Only the dirty tail leaf is rescored (LeafSample=80) and
+// only its root path re-merged; at N=4096 that is 1 of 16 leaves (6.25%
+// dirty), which is where the tree's ≥3x advantage over the full rebuild is
+// gated (ROADMAP: bench-compare hot list).
 func BenchmarkEnsureCoreset(b *testing.B) {
 	for _, n := range []int{256, 1024, 4096} {
-		eng := benchCoresetEngine(b, n)
-		v := eng.Vehicles[0]
-		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+		b.Run(fmt.Sprintf("N=%d/full", n), func(b *testing.B) {
+			eng := benchCoresetEngine(b, n, func(c *Config) { c.DisableIncrementalCoreset = true })
+			v := eng.Vehicles[0]
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				v.Core = nil
+				v.CoreBuiltAt = math.Inf(-1)
+				if _, err := eng.EnsureCoreset(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("N=%d/incremental", n), func(b *testing.B) {
+			eng := benchCoresetEngine(b, n, nil)
+			v := eng.Vehicles[0]
+			if _, err := eng.EnsureCoreset(v); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.Tree.Invalidate(n-128, n)
 				v.CoreBuiltAt = math.Inf(-1)
 				if _, err := eng.EnsureCoreset(v); err != nil {
 					b.Fatal(err)
@@ -82,11 +113,12 @@ func BenchmarkEnsureCoreset(b *testing.B) {
 }
 
 // BenchmarkAbsorbCoreset measures the merge-and-reduce maintenance path: a
-// received peer coreset is absorbed into the local dataset and the resident
-// coreset refreshed, at growing local-dataset sizes.
+// received peer coreset is absorbed into the local dataset, the partition
+// tree extended over the appended range, and the resident coreset refreshed,
+// at growing local-dataset sizes.
 func BenchmarkAbsorbCoreset(b *testing.B) {
 	for _, n := range []int{256, 1024, 4096} {
-		eng := benchCoresetEngine(b, n)
+		eng := benchCoresetEngine(b, n, nil)
 		v := eng.Vehicles[0]
 		baseCore, err := eng.EnsureCoreset(v)
 		if err != nil {
@@ -102,9 +134,16 @@ func BenchmarkAbsorbCoreset(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				// Absorb mutates the vehicle; restore the pre-chat state
 				// outside the timer so every iteration does the same work.
+				// The tree is rewound to cover exactly the restored dataset
+				// (reset, then re-extend) so each absorb's Extend grows it
+				// over the appended range like a real chat would.
 				b.StopTimer()
 				v.Data = dataset.FromWeighted(baseItems)
 				v.Core = baseCore
+				if v.Tree != nil {
+					v.Tree.Extend(0)
+					v.Tree.Extend(v.Data.Len())
+				}
 				b.StartTimer()
 				if err := eng.AbsorbCoreset(v, peer); err != nil {
 					b.Fatal(err)

@@ -111,6 +111,17 @@ type Config struct {
 	// injector is built, no extra randomness is drawn, and runs behave
 	// exactly as without the layer.
 	Faults faults.Config
+	// DisableIncrementalCoreset forces EnsureCoreset down the original full
+	// Algorithm-1 rebuild — rescoring a LayeringSample-bounded subsample of
+	// the whole dataset every CoresetRefresh interval — instead of the
+	// merge-and-reduce partition tree that rebuilds only dirty leaves
+	// (DESIGN.md §14). The two arms produce equal-weight, comparable-quality
+	// summaries but not identical ones (they score different sample pools),
+	// so the flag selects an arm rather than a bit-identical fast path; each
+	// arm is individually deterministic at every worker and shard count. It
+	// exists as the A/B reference for quality tests and the full-rebuild
+	// benchmark baseline.
+	DisableIncrementalCoreset bool
 	// DisableSpatialIndex forces pair enumeration and contact scanning down
 	// the pre-index O(N²) loops (DESIGN.md §10). Results are bit-identical
 	// either way — the flag exists as the A/B reference for determinism
@@ -200,6 +211,12 @@ type Vehicle struct {
 	Data *dataset.Dataset
 	// Core is the current coreset C_i (nil until first built).
 	Core *coreset.Coreset
+	// Tree is the vehicle's merge-and-reduce partition tree over Data,
+	// lazily created by the incremental EnsureCoreset path (nil until the
+	// first incremental refresh, and always nil when
+	// Config.DisableIncrementalCoreset is set). Absorbs extend it so
+	// appended ranges mark their covering leaves dirty.
+	Tree *coreset.Tree
 	// CoreBuiltAt is when the coreset was last rebuilt via Algorithm 1.
 	CoreBuiltAt float64
 	// Bandwidth is the vehicle's available bandwidth B_i (bits/s).
@@ -296,6 +313,11 @@ type Engine struct {
 	// optional per-shard statistics side channel.
 	shardScan *shard.Scanner
 	shardObs  telemetry.ShardObserver
+	// coresetObs is the telemetry sink's optional incremental-refresh side
+	// channel: leaf rebuild/cache and tree-merge counts flow through it,
+	// never the event stream, so both coreset arms emit identical event
+	// kinds.
+	coresetObs telemetry.CoresetObserver
 }
 
 // stepOutcome is one vehicle's training work within one tick.
@@ -342,6 +364,9 @@ func NewEngine(cfg Config, tr trace.Source, datasets []*dataset.Dataset, rm *rad
 	}
 	if o, ok := e.tel.(telemetry.ShardObserver); ok {
 		e.shardObs = o
+	}
+	if o, ok := e.tel.(telemetry.CoresetObserver); ok {
+		e.coresetObs = o
 	}
 	if e.tel != nil {
 		e.contactOpen = make(map[[2]int]float64)

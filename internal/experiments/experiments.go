@@ -60,6 +60,12 @@ type Scale struct {
 	// (core.Config.Shards); 0 or 1 keeps the single-index path. Output is
 	// bit-identical at any setting.
 	Shards int
+	// FullCoresetRebuild disables the incremental partition-tree coreset
+	// refresh (core.Config.DisableIncrementalCoreset), selecting the
+	// original full Algorithm-1 rebuild arm instead (DESIGN.md §14). The
+	// two arms produce equal-quality summaries but are distinct sampling
+	// processes; each is individually bit-identical at any Workers/Shards.
+	FullCoresetRebuild bool
 	// StreamTrace drives engine runs from a bounded sliding-window trace
 	// source instead of the resident columnar trace (DESIGN.md §12).
 	// Without a TracePath the recorded trace is spilled to a temporary
@@ -271,6 +277,7 @@ func BuildEnv(scale Scale) (*Env, error) {
 	cfg.Seed = scale.Seed
 	cfg.Workers = scale.Workers
 	cfg.Shards = scale.Shards
+	cfg.DisableIncrementalCoreset = scale.FullCoresetRebuild
 
 	rng := simrand.New(scale.Seed)
 	w, err := world.New(m, world.SpawnConfig{

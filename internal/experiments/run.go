@@ -70,6 +70,10 @@ type Spec struct {
 	Duration float64
 	Workers  int
 	Shards   int
+	// FullCoresetRebuild selects the full Algorithm-1 coreset rebuild arm
+	// instead of the default incremental partition tree
+	// (Scale.FullCoresetRebuild). Ignored when Env is set.
+	FullCoresetRebuild bool
 	// StreamTrace drives engine runs from a bounded sliding-window trace
 	// source (Scale.StreamTrace); TracePath loads the mobility trace from
 	// an LBTC file (Scale.TracePath). Both are ignored when Env is set.
@@ -169,6 +173,9 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		}
 		if spec.Shards != 0 {
 			scale.Shards = spec.Shards
+		}
+		if spec.FullCoresetRebuild {
+			scale.FullCoresetRebuild = true
 		}
 		if spec.StreamTrace {
 			scale.StreamTrace = true
@@ -328,6 +335,19 @@ func CommTable(runs []*ProtocolRun) *metrics.Table {
 		})
 		row("shard halo guests", func(r *ProtocolRun) float64 {
 			return float64(r.Comm.Reg.Counter(telemetry.MShardGuests))
+		})
+	}
+	// Incremental-coreset rows appear only when a run refreshed through the
+	// partition tree, so full-rebuild reports render exactly as before.
+	if anyCount(telemetry.MCoresetLeavesRebuilt) || anyCount(telemetry.MCoresetLeavesCached) {
+		row("coreset leaves rebuilt", func(r *ProtocolRun) float64 {
+			return float64(r.Comm.Reg.Counter(telemetry.MCoresetLeavesRebuilt))
+		})
+		row("coreset leaves cached", func(r *ProtocolRun) float64 {
+			return float64(r.Comm.Reg.Counter(telemetry.MCoresetLeavesCached))
+		})
+		row("coreset tree merges", func(r *ProtocolRun) float64 {
+			return float64(r.Comm.Reg.Counter(telemetry.MCoresetTreeMerges))
 		})
 	}
 	// Streaming-trace rows appear only when a run was driven by a sliding

@@ -225,6 +225,92 @@ func checkTraceParams(fset *token.FileSet, path string, file *ast.File, findings
 	})
 }
 
+// DirectCoresetBuilds parses every .go file under root and returns one
+// "path:line:col: ..." finding per call to coreset.Build or
+// coreset.BuildWith outside the construction layer. Coresets must be built
+// through the engine's EnsureCoreset (internal/core/coreset_mgmt.go), which
+// routes every refresh through the partition tree or the full-rebuild arm —
+// a direct Build call bypasses the incremental cache, the A/B arm flag, and
+// the telemetry side channel. Exempt: the coreset package itself, the
+// engine's coreset_mgmt.go, test files, and the examples tree (pedagogical
+// standalone programs).
+func DirectCoresetBuilds(root string) ([]string, error) {
+	var findings []string
+	fset := token.NewFileSet()
+	coresetPkgDir := filepath.Join("internal", "coreset")
+	mgmtFile := filepath.Join("internal", "core", "coreset_mgmt.go")
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "examples" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, relErr := filepath.Rel(root, path)
+		if relErr != nil {
+			rel = path
+		}
+		if strings.HasPrefix(rel, coresetPkgDir+string(filepath.Separator)) || rel == mgmtFile {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		checkCoresetBuilds(fset, rel, file, &findings)
+		return nil
+	})
+	return findings, err
+}
+
+// checkCoresetBuilds appends a finding for each direct coreset-construction
+// call in one file. It resolves the file's local name for the coreset import
+// (aliases count too) and flags calls to that package's Build and BuildWith.
+func checkCoresetBuilds(fset *token.FileSet, path string, file *ast.File, findings *[]string) {
+	local := ""
+	for _, imp := range file.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != "lbchat/internal/coreset" {
+			continue
+		}
+		local = "coreset"
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+	}
+	if local == "" || local == "." || local == "_" {
+		return
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != local {
+			return true
+		}
+		if sel.Sel.Name != "Build" && sel.Sel.Name != "BuildWith" {
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		*findings = append(*findings, fmt.Sprintf(
+			"%s:%d:%d: direct %s.%s call; build coresets through Engine.EnsureCoreset so the partition tree and arm flag apply",
+			path, pos.Line, pos.Column, local, sel.Sel.Name))
+		return true
+	})
+}
+
 // ModuleRoot walks upward from dir to the enclosing go.mod directory.
 func ModuleRoot(dir string) (string, error) {
 	dir, err := filepath.Abs(dir)

@@ -113,6 +113,95 @@ func f(t *Trace) {} // unrelated local type named Trace
 	}
 }
 
+// TestNoDirectCoresetBuilds is the repository-wide assertion: outside the
+// coreset package and the engine's construction layer, no non-test code may
+// call coreset.Build/BuildWith directly — coresets flow through
+// Engine.EnsureCoreset so the partition tree and the A/B arm flag apply.
+func TestNoDirectCoresetBuilds(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	findings, err := DirectCoresetBuilds(root)
+	if err != nil {
+		t.Fatalf("DirectCoresetBuilds: %v", err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}
+
+// TestDetectsDirectCoresetBuilds pins down the call forms the checker must
+// catch, and the ones it must deliberately allow.
+func TestDetectsDirectCoresetBuilds(t *testing.T) {
+	src := `package p
+
+import cs "lbchat/internal/coreset"
+
+func bad1() { cs.Build(nil, nil, 10, nil) }                   // direct Build
+func bad2() { cs.BuildWith(cs.MethodLayered, nil, nil, 10, nil) } // direct BuildWith
+func ok1() { cs.FromDataset(nil) }                            // wrapping: allowed
+func ok2() { cs.MergeReduce(nil, nil, 10, nil) }              // maintenance: allowed
+func ok3() { cs.NewTree(cs.TreeConfig{}) }                    // tree: allowed
+`
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := DirectCoresetBuilds(dir)
+	if err != nil {
+		t.Fatalf("DirectCoresetBuilds: %v", err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(findings), strings.Join(findings, "\n"))
+	}
+	for _, f := range findings {
+		if strings.Contains(f, "ok") {
+			t.Errorf("allowed form wrongly flagged: %s", f)
+		}
+	}
+}
+
+// TestDirectCoresetBuildsExemptions: the coreset package itself, the
+// engine's coreset_mgmt.go, test files, the examples tree, and files that
+// never import the package produce no findings.
+func TestDirectCoresetBuildsExemptions(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	call := `import cs "lbchat/internal/coreset"
+
+func f() { cs.Build(nil, nil, 10, nil) }
+`
+	write(filepath.Join("internal", "coreset", "x.go"), "package coreset\n\n"+call)
+	write(filepath.Join("internal", "core", "coreset_mgmt.go"), "package core\n\n"+call)
+	write(filepath.Join("internal", "core", "x_test.go"), "package core\n\n"+call)
+	write(filepath.Join("examples", "demo", "main.go"), "package main\n\n"+call)
+	write("y.go", `package p
+
+type coreset struct{}
+
+func (coreset) Build() {}
+
+func g() { var c coreset; c.Build() } // unrelated local type: allowed
+`)
+	findings, err := DirectCoresetBuilds(dir)
+	if err != nil {
+		t.Fatalf("DirectCoresetBuilds: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("unexpected findings:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
 // TestDetectsShadowingForms pins down the declaration sites the checker
 // must catch, and the ones it must deliberately ignore.
 func TestDetectsShadowingForms(t *testing.T) {

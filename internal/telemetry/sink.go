@@ -72,6 +72,29 @@ type TraceObserver interface {
 	ObserveTraceChunk(op TraceChunk)
 }
 
+// CoresetRefresh describes one incremental coreset refresh: how many
+// partition-tree leaves were rebuilt vs served from cache, and how many
+// merge nodes were recomputed on the dirty leaves' root paths.
+type CoresetRefresh struct {
+	// Vehicle is the refreshing vehicle's ID.
+	Vehicle int
+	// LeavesRebuilt and LeavesCached partition the tree's leaves at this
+	// refresh.
+	LeavesRebuilt, LeavesCached int
+	// TreeMerges counts the merge-and-reduce nodes recomputed.
+	TreeMerges int
+}
+
+// CoresetObserver receives incremental-refresh statistics from the engine.
+// Like the other side channels it is a separate, optional interface — not an
+// Event — so cache behavior can never leak into the deterministic event
+// stream: the full-rebuild and incremental arms emit the same CoresetRebuilt
+// events even though only one of them has leaves to cache.
+type CoresetObserver interface {
+	// ObserveCoresetRefresh records one incremental coreset refresh.
+	ObserveCoresetRefresh(r CoresetRefresh)
+}
+
 // MemorySink buffers every event in memory: the test sink, and the per-run
 // buffer the experiment harness uses to serialize concurrent runs into one
 // output stream.
@@ -121,10 +144,11 @@ func (m *MemorySink) Drain(dst Sink) {
 // multiSink fans events (and side-channel observations) out to several
 // sinks.
 type multiSink struct {
-	sinks  []Sink
-	walls  []WallObserver
-	shards []ShardObserver
-	traces []TraceObserver
+	sinks    []Sink
+	walls    []WallObserver
+	shards   []ShardObserver
+	traces   []TraceObserver
+	coresets []CoresetObserver
 }
 
 // Tee returns a sink that forwards every event to all given sinks (nils are
@@ -153,6 +177,9 @@ func Tee(sinks ...Sink) Sink {
 		}
 		if o, ok := s.(TraceObserver); ok {
 			m.traces = append(m.traces, o)
+		}
+		if o, ok := s.(CoresetObserver); ok {
+			m.coresets = append(m.coresets, o)
 		}
 	}
 	return m
@@ -183,6 +210,13 @@ func (m *multiSink) ObserveShardScan(scan ShardScan) {
 func (m *multiSink) ObserveTraceChunk(op TraceChunk) {
 	for _, o := range m.traces {
 		o.ObserveTraceChunk(op)
+	}
+}
+
+// ObserveCoresetRefresh implements CoresetObserver.
+func (m *multiSink) ObserveCoresetRefresh(r CoresetRefresh) {
+	for _, o := range m.coresets {
+		o.ObserveCoresetRefresh(r)
 	}
 }
 

@@ -27,6 +27,10 @@ const (
 	MCoresetEvictFrames  = "coreset.evicted_frames"
 	MCoresetRebuilds     = "coreset.rebuilds"
 
+	MCoresetLeavesRebuilt = "coreset.leaves_rebuilt"
+	MCoresetLeavesCached  = "coreset.leaves_cached"
+	MCoresetTreeMerges    = "coreset.tree_merges"
+
 	MContactsOpened  = "contact.opened"
 	MContactDuration = "contact.duration_s"
 
@@ -65,6 +69,7 @@ func KnownMetrics() []string {
 		MTransferBytes, MTransferTruncate,
 		MAggregations, MAggWPeer,
 		MCoresetAbsorbFrames, MCoresetEvictFrames, MCoresetRebuilds,
+		MCoresetLeavesRebuilt, MCoresetLeavesCached, MCoresetTreeMerges,
 		MContactsOpened, MContactDuration,
 		MTrainSteps, MTrainWallNs,
 		MShardScans, MShardPairs, MShardGuests, MShardLocals,
@@ -189,6 +194,15 @@ func (s *Summary) ObserveShardScan(scan ShardScan) {
 	s.Reg.Inc(MShardPairs, int64(scan.Pairs))
 	s.Reg.Inc(MShardGuests, int64(scan.Guests))
 	s.Reg.Observe(MShardLocals, localsEdges, float64(scan.Locals))
+}
+
+// ObserveCoresetRefresh implements CoresetObserver: incremental-refresh
+// cache behavior lives only in these aggregates, never in the event stream,
+// so the incremental and full-rebuild arms emit identically-shaped events.
+func (s *Summary) ObserveCoresetRefresh(r CoresetRefresh) {
+	s.Reg.Inc(MCoresetLeavesRebuilt, int64(r.LeavesRebuilt))
+	s.Reg.Inc(MCoresetLeavesCached, int64(r.LeavesCached))
+	s.Reg.Inc(MCoresetTreeMerges, int64(r.TreeMerges))
 }
 
 // ObserveTraceChunk implements TraceObserver: streaming-window chunk
