@@ -122,6 +122,14 @@ type Config struct {
 	// exists as the A/B reference for quality tests and the full-rebuild
 	// benchmark baseline.
 	DisableIncrementalCoreset bool
+	// LegacyDueScan forces trainTick's due-vehicle discovery down the
+	// original per-tick O(N) serial scan of the whole fleet instead of the
+	// due-time calendar queue (internal/sched.Calendar, DESIGN.md §15),
+	// which pops exactly the due vehicles in O(k). Results are byte-identical
+	// either way — both arms surface the same due sets in the same ascending
+	// vehicle order — so the flag exists as the A/B reference for determinism
+	// tests and the trainTick benchmark baseline, not as a tuning knob.
+	LegacyDueScan bool
 	// DisableSpatialIndex forces pair enumeration and contact scanning down
 	// the pre-index O(N²) loops (DESIGN.md §10). Results are bit-identical
 	// either way — the flag exists as the A/B reference for determinism
@@ -279,9 +287,35 @@ type Engine struct {
 	nextRecord float64
 	initFlat   []float64
 
-	// dueVehicles is trainTick's reused scratch for the vehicles whose next
-	// training step has come due this tick.
-	dueVehicles []*Vehicle
+	// tickIndex counts completed engine ticks; it is the integer key of the
+	// due-time calendar (e.now accumulates float rounding, tickIndex never
+	// does).
+	tickIndex int64
+	// invTick is 1/TickSeconds, hoisted so dueTick multiplies instead of
+	// divides on every re-enqueue.
+	invTick float64
+	// calendar is the due-time calendar queue over vehicle ids (nil on the
+	// -legacy-due-scan arm): each vehicle is enqueued at the tick its
+	// nextTrain comes due and re-enqueued after every step, so discovering
+	// the tick's due set costs O(due), not O(fleet). Buckets are keyed
+	// never-late (see dueTick) and lazily re-checked at dequeue, so float
+	// drift between e.now and tickIndex can cost a harmless early pop but
+	// never a late one.
+	calendar *sched.Calendar
+	// dueIDs and popScratch are trainTick's reused id scratch: the tick's
+	// due set in ascending vehicle order, and the raw calendar pop feeding
+	// it. Ids, not pointers, so the scratch pins no departed vehicles.
+	dueIDs     []int32
+	popScratch []int32
+	// allIDs is the static identity id list [0, n), the whole-fleet working
+	// set probe evaluation dispatches over.
+	allIDs []int32
+	// stepFn, stepObsFn, and probeFn are the per-vehicle phase bodies
+	// (stepDue, stepDueObserved, probeOne) bound once at construction, so
+	// dispatching a tick's phases allocates no closures.
+	stepFn    func(i int)
+	stepObsFn func(i int)
+	probeFn   func(i int)
 
 	// tel and wall cache the configured telemetry sink and its optional
 	// wall-clock side channel; both nil when telemetry is disabled.
@@ -313,6 +347,14 @@ type Engine struct {
 	// optional per-shard statistics side channel.
 	shardScan *shard.Scanner
 	shardObs  telemetry.ShardObserver
+	// grouper batches per-vehicle phase work (train steps, probe
+	// evaluations) by owning grid region when Cfg.Shards > 1, using the same
+	// region geometry as shardScan; schedObs is the sink's optional
+	// scheduling-statistics side channel, and lossScratch the reused
+	// per-vehicle loss buffer probe evaluation reduces from in id order.
+	grouper     *shard.Grouper
+	schedObs    telemetry.SchedObserver
+	lossScratch []float64
 	// coresetObs is the telemetry sink's optional incremental-refresh side
 	// channel: leaf rebuild/cache and tree-merge counts flow through it,
 	// never the event stream, so both coreset arms emit identical event
@@ -359,6 +401,16 @@ func NewEngine(cfg Config, tr trace.Source, datasets []*dataset.Dataset, rm *rad
 	if cfg.Shards > 1 && !cfg.DisableSpatialIndex {
 		e.shardScan = shard.NewScanner(cfg.Shards, cfg.Workers)
 	}
+	if cfg.Shards > 1 {
+		e.grouper = shard.NewGrouper(cfg.Shards)
+	}
+	e.invTick = 1 / cfg.TickSeconds
+	e.stepFn = e.stepDue
+	e.stepObsFn = e.stepDueObserved
+	e.probeFn = e.probeOne
+	if !cfg.LegacyDueScan {
+		e.calendar = sched.NewCalendar(len(datasets))
+	}
 	if w, ok := e.tel.(telemetry.WallObserver); ok {
 		e.wall = w
 	}
@@ -367,6 +419,9 @@ func NewEngine(cfg Config, tr trace.Source, datasets []*dataset.Dataset, rm *rad
 	}
 	if o, ok := e.tel.(telemetry.CoresetObserver); ok {
 		e.coresetObs = o
+	}
+	if o, ok := e.tel.(telemetry.SchedObserver); ok {
+		e.schedObs = o
 	}
 	if e.tel != nil {
 		e.contactOpen = make(map[[2]int]float64)
@@ -419,6 +474,15 @@ func NewEngine(cfg Config, tr trace.Source, datasets []*dataset.Dataset, rm *rad
 			// Stagger training so vehicles do not all step on the same tick.
 			nextTrain: vr.Uniform(0, cfg.TrainInterval),
 		})
+	}
+	e.allIDs = make([]int32, len(e.Vehicles))
+	for i := range e.allIDs {
+		e.allIDs[i] = int32(i)
+	}
+	if e.calendar != nil {
+		for _, v := range e.Vehicles {
+			e.calendar.Schedule(int32(v.ID), e.dueTick(v.nextTrain))
+		}
 	}
 	return e, nil
 }
@@ -478,6 +542,7 @@ func (e *Engine) RunContext(ctx context.Context, p Protocol, duration float64) (
 			e.nextRecord += e.Cfg.RecordInterval
 		}
 		e.now += e.Cfg.TickSeconds
+		e.tickIndex++
 	}
 	e.Events.RunUntil(duration)
 	e.recordLoss()
@@ -638,14 +703,44 @@ func (e *Engine) rangePairs(pts []geom.Point, r float64) []spatial.Pair {
 	return e.pairScratch
 }
 
-// trainTick runs every vehicle's due local-SGD steps. Each vehicle touches
-// only its own policy, dataset cursor, and private RNG stream, so the due
-// vehicles train concurrently; training order across vehicles never mattered
-// (no shared state), so the result is bit-identical to the serial loop.
-func (e *Engine) trainTick() {
-	// Cheap serial scan first: most ticks no vehicle is due, and spinning up
-	// the pool just to discover that would dominate the tick.
-	due := e.dueVehicles[:0]
+// dueTickEps bounds how close the tick-offset quotient must sit to an
+// integer before dueTick refuses to round it up: far wider than any float
+// drift the accumulated e.now can carry, far narrower than a real schedule
+// offset.
+const dueTickEps = 1e-7
+
+// dueTick maps a virtual due time onto the calendar's integer tick key:
+// the first tick whose now reaches at — the ceiling of the tick offset —
+// except within dueTickEps of an integer quotient, where float error could
+// over-round and fire a tick LATE (diverging from the legacy scan); there
+// it conservatively floors instead. A conservative-early pop is always
+// safe: calendarDue re-checks nextTrain against now and re-enqueues.
+func (e *Engine) dueTick(at float64) int64 {
+	if at <= e.now {
+		return e.tickIndex
+	}
+	q := (at - e.now) * e.invTick
+	k := int64(q)
+	if q-float64(k) > dueTickEps {
+		k++
+	}
+	return e.tickIndex + k
+}
+
+// reDueTick is dueTick for re-enqueues from the current tick's pop: at
+// least one tick ahead, so a conservative-early pop cannot respin in place.
+func (e *Engine) reDueTick(at float64) int64 {
+	if t := e.dueTick(at); t > e.tickIndex {
+		return t
+	}
+	return e.tickIndex + 1
+}
+
+// legacyDueScan is the original O(fleet) due discovery: a serial scan of
+// every vehicle per tick. It is the -legacy-due-scan A/B arm and the
+// benchmark baseline the calendar queue is gated against; nothing else may
+// iterate the fleet in a per-tick hot path (internal/repolint enforces it).
+func (e *Engine) legacyDueScan(due []int32) []int32 {
 	for _, v := range e.Vehicles {
 		if v.nextTrain <= e.now {
 			if e.faults != nil && e.faults.Away(v.ID) {
@@ -657,52 +752,172 @@ func (e *Engine) trainTick() {
 				}
 				continue
 			}
-			due = append(due, v)
+			due = append(due, int32(v.ID))
 		}
 	}
-	e.dueVehicles = due
+	return due
+}
+
+// calendarDue discovers the tick's due set by popping the calendar queue:
+// O(1) on an idle tick, O(due) otherwise. Popped ids arrive in ascending
+// vehicle order — the legacy scan's order — and each is re-checked against
+// its float due time: a conservative-early pop goes back on the wheel, and
+// a departed vehicle's schedule advances past now (exactly the legacy arm's
+// bookkeeping) before it is re-enqueued for its post-absence step — churn
+// moves wheel entries forward, it never strands or leaks them.
+func (e *Engine) calendarDue(due []int32) ([]int32, int) {
+	popped, buckets := e.calendar.PopDue(e.tickIndex, e.popScratch[:0])
+	e.popScratch = popped
+	if e.faults == nil {
+		// Fault-free fast path: every on-time pop is due.
+		for _, id := range popped {
+			v := e.Vehicles[id]
+			if v.nextTrain > e.now {
+				e.calendar.Schedule(id, e.reDueTick(v.nextTrain))
+				continue
+			}
+			due = append(due, id)
+		}
+		return due, buckets
+	}
+	for _, id := range popped {
+		v := e.Vehicles[id]
+		if v.nextTrain > e.now {
+			e.calendar.Schedule(id, e.reDueTick(v.nextTrain))
+			continue
+		}
+		if e.faults.Away(v.ID) {
+			for v.nextTrain <= e.now {
+				v.nextTrain += e.Cfg.TrainInterval
+			}
+			e.calendar.Schedule(id, e.reDueTick(v.nextTrain))
+			continue
+		}
+		due = append(due, id)
+	}
+	return due, buckets
+}
+
+// dispatchPhase runs fn(i) for every position i in ids — a per-vehicle
+// phase where each index touches only its own vehicle's state and writes
+// results to index-addressed scratch. Sharded engines dispatch it as
+// shard-major batches: ids grouped by owning grid region (the encounter
+// scan's ownership), one parallel task per occupied region, so a batch's
+// vehicles are spatially colocated — the layout a future multi-process
+// shard split needs. Unsharded engines fan out per vehicle. Grouping only
+// reorders execution; outputs reduce in canonical id order either way, so
+// results are bit-identical at any workers × shards. Returns the number of
+// shard batches dispatched (0 when unsharded).
+func (e *Engine) dispatchPhase(ids []int32, fn func(i int)) int {
+	if e.grouper == nil || len(ids) <= 1 {
+		parallel.ForEach(e.workers(), len(ids), fn)
+		return 0
+	}
+	// One contiguous row read covers every vehicle this tick; the copy into
+	// scratch keeps the slice valid across the window's next Advance.
+	pts := append(e.spatialPts[:0], e.Trace.RowAt(e.now)...)
+	e.spatialPts = pts
+	e.grouper.Group(ids, pts)
+	batches := e.grouper.Batches()
+	parallel.ForEach(e.workers(), batches, func(b int) {
+		for _, pos := range e.grouper.Batch(b) {
+			fn(int(pos))
+		}
+	})
+	return batches
+}
+
+// stepDue runs vehicle dueIDs[i]'s pending local-SGD steps — the
+// unobserved fast path: no outcome recording, no per-call scratch.
+func (e *Engine) stepDue(i int) {
+	v := e.Vehicles[e.dueIDs[i]]
+	for v.nextTrain <= e.now {
+		if batch := v.Data.SampleBatch(e.Cfg.BatchSize, v.rng); len(batch) > 0 {
+			v.Policy.TrainStep(batch)
+		}
+		v.nextTrain += e.Cfg.TrainInterval
+	}
+}
+
+// stepDueObserved is stepDue recording the vehicle's outcome (and wall
+// time, when a wall observer is attached) into index-addressed stepScratch
+// for trainTick's serial emission pass.
+func (e *Engine) stepDueObserved(i int) {
+	v := e.Vehicles[e.dueIDs[i]]
+	var out stepOutcome
+	var start time.Time
+	if e.wall != nil {
+		start = time.Now()
+	}
+	for v.nextTrain <= e.now {
+		batch := v.Data.SampleBatch(e.Cfg.BatchSize, v.rng)
+		if len(batch) > 0 {
+			out.loss = v.Policy.TrainStep(batch)
+			out.steps++
+		}
+		v.nextTrain += e.Cfg.TrainInterval
+	}
+	if e.wall != nil {
+		out.wallNs = time.Since(start).Nanoseconds()
+	}
+	e.stepScratch[i] = out
+}
+
+// trainTick runs every vehicle's due local-SGD steps. Each vehicle touches
+// only its own policy, dataset cursor, and private RNG stream, so the due
+// vehicles train concurrently; training order across vehicles never mattered
+// (no shared state), so the result is bit-identical to the serial loop.
+func (e *Engine) trainTick() {
+	due := e.dueIDs[:0]
+	var buckets int
+	if e.calendar != nil {
+		due, buckets = e.calendarDue(due)
+	} else {
+		due = e.legacyDueScan(due)
+	}
+	e.dueIDs = due
 	if len(due) == 0 {
+		if e.schedObs != nil && e.calendar != nil {
+			e.schedObs.ObserveSchedTick(telemetry.SchedTick{BucketsTouched: buckets})
+		}
 		return
 	}
 	// With telemetry on, the parallel phase records each vehicle's outcome
 	// into index-addressed scratch; events are then emitted serially in
 	// vehicle-index order so the stream is identical at every worker count.
+	// The two phase bodies are pre-bound methods (stepFn/stepObsFn), not
+	// per-tick closures, so a quiet tick allocates nothing.
 	observe := e.tel != nil || e.wall != nil
-	if observe && cap(e.stepScratch) < len(due) {
-		e.stepScratch = make([]stepOutcome, len(due))
+	fn := e.stepFn
+	if observe {
+		if cap(e.stepScratch) < len(due) {
+			e.stepScratch = make([]stepOutcome, len(due))
+		}
+		fn = e.stepObsFn
 	}
-	parallel.ForEach(e.workers(), len(due), func(i int) {
-		v := due[i]
-		var out stepOutcome
-		var start time.Time
-		if e.wall != nil {
-			start = time.Now()
+	batches := e.dispatchPhase(due, fn)
+	if e.schedObs != nil && e.calendar != nil {
+		e.schedObs.ObserveSchedTick(telemetry.SchedTick{
+			DueDequeued: len(due), BucketsTouched: buckets, ShardBatches: batches,
+		})
+	}
+	if e.calendar != nil {
+		// Re-enqueue each stepped vehicle at its next due tick, serially —
+		// the wheel is single-writer scratch like every engine index.
+		for _, id := range due {
+			e.calendar.Schedule(id, e.reDueTick(e.Vehicles[id].nextTrain))
 		}
-		for v.nextTrain <= e.now {
-			batch := v.Data.SampleBatch(e.Cfg.BatchSize, v.rng)
-			if len(batch) > 0 {
-				out.loss = v.Policy.TrainStep(batch)
-				out.steps++
-			}
-			v.nextTrain += e.Cfg.TrainInterval
-		}
-		if observe {
-			if e.wall != nil {
-				out.wallNs = time.Since(start).Nanoseconds()
-			}
-			e.stepScratch[i] = out
-		}
-	})
+	}
 	if !observe {
 		return
 	}
-	for i, v := range due {
+	for i, id := range due {
 		out := e.stepScratch[i]
 		if out.steps == 0 {
 			continue
 		}
 		if e.tel != nil {
-			e.tel.Emit(telemetry.TrainStep{Time: e.now, Vehicle: v.ID, Steps: out.steps, Loss: out.loss})
+			e.tel.Emit(telemetry.TrainStep{Time: e.now, Vehicle: e.Vehicles[id].ID, Steps: out.steps, Loss: out.loss})
 		}
 		if e.wall != nil {
 			e.wall.ObserveTrainWall(out.wallNs)
@@ -711,17 +926,30 @@ func (e *Engine) trainTick() {
 }
 
 // probeLossMean evaluates every vehicle on the probe set (in parallel — the
-// probe is read-only and each policy is private) and reduces the losses in
-// vehicle-index order so the float sum is bit-identical at any worker count.
+// probe is read-only and each policy is private, dispatched shard-major on
+// sharded engines) and reduces the losses from the engine-held scratch in
+// vehicle-index order, so the float sum is bit-identical at any worker and
+// shard count and steady-state probes allocate nothing.
 func (e *Engine) probeLossMean() float64 {
-	losses := parallel.Map(e.workers(), len(e.Vehicles), func(i int) float64 {
-		return e.Vehicles[i].Policy.Loss(e.Probe)
-	})
+	n := len(e.Vehicles)
+	if cap(e.lossScratch) < n {
+		e.lossScratch = make([]float64, n)
+	}
+	losses := e.lossScratch[:n]
+	batches := e.dispatchPhase(e.allIDs, e.probeFn)
+	if e.schedObs != nil && batches > 0 {
+		e.schedObs.ObserveSchedTick(telemetry.SchedTick{ShardBatches: batches})
+	}
 	var sum float64
 	for _, l := range losses {
 		sum += l
 	}
-	return sum / float64(len(e.Vehicles))
+	return sum / float64(n)
+}
+
+// probeOne evaluates vehicle i on the probe set into the loss scratch.
+func (e *Engine) probeOne(i int) {
+	e.lossScratch[i] = e.Vehicles[i].Policy.Loss(e.Probe)
 }
 
 func (e *Engine) recordLoss() {

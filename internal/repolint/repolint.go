@@ -311,6 +311,88 @@ func checkCoresetBuilds(fset *token.FileSet, path string, file *ast.File, findin
 	})
 }
 
+// hotPathFuncs are the engine's per-tick hot-path functions: the ones that
+// run every tick (or every probe) and therefore must scale with the due or
+// batched working set, never with fleet size. legacyDueScan is deliberately
+// absent — it IS the sanctioned O(fleet) reference arm.
+var hotPathFuncs = map[string]bool{
+	"trainTick":     true,
+	"probeLossMean": true,
+	"recordLoss":    true,
+	"calendarDue":   true,
+	"dispatchPhase": true,
+}
+
+// HotPathFleetScans parses every non-test .go file under root's
+// internal/core and returns one "path:line:col: ..." finding per
+// `for ... range e.Vehicles` loop inside a per-tick hot-path function
+// (hotPathFuncs). The calendar queue exists precisely so empty ticks cost
+// O(1) and due ticks cost O(due); a fleet-sized range in one of these
+// functions silently reverts the engine to the O(N)-per-tick regime the
+// scheduler replaced (DESIGN.md §15). The legacy reference arm
+// (legacyDueScan) and everything outside the hot set — construction,
+// end-of-run aggregation, the encounter scan's own spatial index — are
+// exempt.
+func HotPathFleetScans(root string) ([]string, error) {
+	var findings []string
+	fset := token.NewFileSet()
+	coreDir := filepath.Join(root, "internal", "core")
+	err := filepath.WalkDir(coreDir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+		rel, relErr := filepath.Rel(root, path)
+		if relErr != nil {
+			rel = path
+		}
+		checkHotPathScans(fset, rel, file, &findings)
+		return nil
+	})
+	return findings, err
+}
+
+// checkHotPathScans appends a finding for each fleet-sized range statement
+// inside a hot-path function in one file. It flags `range X.Vehicles` for
+// any receiver X — the selector, not the receiver name, is the signature of
+// a fleet scan.
+func checkHotPathScans(fset *token.FileSet, path string, file *ast.File, findings *[]string) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || !hotPathFuncs[fn.Name.Name] {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			sel, ok := rng.X.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Vehicles" {
+				return true
+			}
+			pos := fset.Position(rng.Pos())
+			*findings = append(*findings, fmt.Sprintf(
+				"%s:%d:%d: fleet-sized range over Vehicles in per-tick hot path %s; use the calendar queue's due set or the shard batcher instead",
+				path, pos.Line, pos.Column, fn.Name.Name))
+			return true
+		})
+	}
+}
+
 // ModuleRoot walks upward from dir to the enclosing go.mod directory.
 func ModuleRoot(dir string) (string, error) {
 	dir, err := filepath.Abs(dir)

@@ -202,6 +202,117 @@ func g() { var c coreset; c.Build() } // unrelated local type: allowed
 	}
 }
 
+// TestNoHotPathFleetScans is the repository-wide assertion: the engine's
+// per-tick hot-path functions (trainTick, probeLossMean, recordLoss,
+// calendarDue, dispatchPhase) may not range over the full Vehicles slice —
+// due work comes from the calendar queue and batched work from the shard
+// grouper, so empty ticks stay O(1).
+func TestNoHotPathFleetScans(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("ModuleRoot: %v", err)
+	}
+	findings, err := HotPathFleetScans(root)
+	if err != nil {
+		t.Fatalf("HotPathFleetScans: %v", err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+}
+
+// TestDetectsHotPathFleetScans pins down the loop forms the checker must
+// catch inside hot-path functions, and the contexts it must deliberately
+// allow.
+func TestDetectsHotPathFleetScans(t *testing.T) {
+	src := `package core
+
+type engine struct{ Vehicles []int }
+
+func (e *engine) trainTick() {
+	for range e.Vehicles { // fleet scan in a hot path
+	}
+}
+
+func (e *engine) probeLossMean() {
+	for _, v := range e.Vehicles { // fleet scan in a hot path
+		_ = v
+	}
+}
+
+func (e *engine) calendarDue(due []int32) []int32 {
+	for _, id := range due { // due-set iteration: allowed
+		_ = id
+	}
+	return due
+}
+
+func (e *engine) legacyDueScan() {
+	for range e.Vehicles { // the sanctioned reference arm: allowed
+	}
+}
+
+func (e *engine) FleetReceiveStats() {
+	for range e.Vehicles { // end-of-run aggregation, not a hot path: allowed
+	}
+}
+`
+	dir := t.TempDir()
+	coreDir := filepath.Join(dir, "internal", "core")
+	if err := os.MkdirAll(coreDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(coreDir, "x.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := HotPathFleetScans(dir)
+	if err != nil {
+		t.Fatalf("HotPathFleetScans: %v", err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(findings), strings.Join(findings, "\n"))
+	}
+	for _, f := range findings {
+		if strings.Contains(f, "legacyDueScan") || strings.Contains(f, "FleetReceiveStats") ||
+			strings.Contains(f, "calendarDue") {
+			t.Errorf("allowed form wrongly flagged: %s", f)
+		}
+	}
+}
+
+// TestHotPathFleetScansExemptsTestsAndOutsideCore: test files inside
+// internal/core and hot-named functions outside internal/core produce no
+// findings.
+func TestHotPathFleetScansExemptsTestsAndOutsideCore(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scan := `type engine struct{ Vehicles []int }
+
+func (e *engine) trainTick() {
+	for range e.Vehicles {
+	}
+}
+`
+	write(filepath.Join("internal", "core", "x_test.go"), "package core\n\n"+scan)
+	write(filepath.Join("internal", "other", "x.go"), "package other\n\n"+scan)
+	findings, err := HotPathFleetScans(dir)
+	if err != nil {
+		t.Fatalf("HotPathFleetScans: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("unexpected findings:\n%s", strings.Join(findings, "\n"))
+	}
+}
+
 // TestDetectsShadowingForms pins down the declaration sites the checker
 // must catch, and the ones it must deliberately ignore.
 func TestDetectsShadowingForms(t *testing.T) {

@@ -15,6 +15,13 @@
 // run on the internal/parallel pool and results are independent of both the
 // worker count and the shard count.
 //
+// Grouper reuses the Scanner's region geometry to batch per-vehicle work
+// (train steps, probe evaluations) shard-major: vehicle indices are bucketed
+// by owning region and dispatched as one parallel task per region, with
+// outputs written to index-addressed scratch and reduced in canonical
+// vehicle order so results stay bit-identical at any worker or shard count
+// (DESIGN.md §15).
+//
 // Fleet is the synthetic random-waypoint workload used by the fleetscan
 // scale experiment: per-vehicle derived RNG streams keep its kinematics
 // bit-identical at any worker count.

@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"math"
+
+	"lbchat/internal/geom"
+)
+
+// Grouper assigns a working set of vehicles to their owning grid regions so
+// per-vehicle phases (train steps, probe evaluations) can be dispatched as
+// shard-major batches: one parallel task per occupied region, touching only
+// vehicles that are spatially colocated. It uses the same region geometry as
+// the Scanner — the fleet's occupied bounding box split into an Sx×Sy grid —
+// so a vehicle's batch owner matches its encounter-scan owner tick for tick.
+//
+// Grouping changes only how work is scheduled, never what is computed:
+// batches partition the input ids, each batch preserves ascending id order,
+// and callers write results into id-indexed (or input-indexed) scratch and
+// reduce in canonical order, so outputs are bit-identical at any worker ×
+// shard combination. All scratch is reused across calls; a Grouper is not
+// safe for concurrent use.
+type Grouper struct {
+	shards int
+	sx, sy int
+
+	groups [][]int32 // per-region: positions into the last Group call's ids
+	filled []int32   // indices of non-empty groups, ascending
+}
+
+// NewGrouper returns a grouper over the given region count (clamped to 1).
+func NewGrouper(shards int) *Grouper {
+	if shards < 1 {
+		shards = 1
+	}
+	sx, sy := Grid(shards)
+	return &Grouper{
+		shards: shards,
+		sx:     sx,
+		sy:     sy,
+		groups: make([][]int32, shards),
+	}
+}
+
+// Group partitions ids — a subset of the fleet in ascending order — into
+// region batches. pts holds the whole fleet's positions this tick, indexed
+// by vehicle id; region ownership comes from the occupied bounding box over
+// all of pts (the Scanner's geometry), so a sparse due set still lands in
+// the same regions as a full scan. The ids slice is read, not retained.
+func (g *Grouper) Group(ids []int32, pts []geom.Point) {
+	for i := range g.groups {
+		g.groups[i] = g.groups[i][:0]
+	}
+	g.filled = g.filled[:0]
+	if len(ids) == 0 {
+		return
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range pts {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	wx := (maxX - minX) / float64(g.sx)
+	wy := (maxY - minY) / float64(g.sy)
+	for pos, id := range ids {
+		p := pts[id]
+		sxi := regionOf(p.X-minX, wx, g.sx)
+		syi := regionOf(p.Y-minY, wy, g.sy)
+		own := syi*g.sx + sxi
+		if len(g.groups[own]) == 0 {
+			g.filled = append(g.filled, int32(own))
+		}
+		g.groups[own] = append(g.groups[own], int32(pos))
+	}
+}
+
+// Batches returns the number of non-empty batches from the last Group.
+func (g *Grouper) Batches() int { return len(g.filled) }
+
+// Batch returns the i-th non-empty batch: positions into the Group call's
+// ids slice, in ascending order. The slice is owned by the grouper and
+// overwritten by the next Group.
+func (g *Grouper) Batch(i int) []int32 { return g.groups[g.filled[i]] }

@@ -95,6 +95,29 @@ type CoresetObserver interface {
 	ObserveCoresetRefresh(r CoresetRefresh)
 }
 
+// SchedTick describes one engine tick's due-vehicle scheduling work: how
+// many vehicles the calendar queue dequeued as due, how many wheel buckets
+// the pop examined, and how many shard-major batches the tick's per-vehicle
+// phases dispatched (zero when the run is unsharded or the phase was empty).
+type SchedTick struct {
+	// DueDequeued is the number of due vehicles the calendar queue popped.
+	DueDequeued int
+	// BucketsTouched is the number of tick-wheel buckets the pop examined.
+	BucketsTouched int
+	// ShardBatches is the number of shard-grouped work batches dispatched.
+	ShardBatches int
+}
+
+// SchedObserver receives due-time scheduling statistics from the engine.
+// Like the other side channels it is a separate, optional interface — not an
+// Event — so scheduler internals can never leak into the deterministic event
+// stream: the calendar-queue and legacy-scan arms emit byte-identical events
+// even though only one of them has buckets to touch.
+type SchedObserver interface {
+	// ObserveSchedTick records one tick's scheduling work.
+	ObserveSchedTick(s SchedTick)
+}
+
 // MemorySink buffers every event in memory: the test sink, and the per-run
 // buffer the experiment harness uses to serialize concurrent runs into one
 // output stream.
@@ -149,6 +172,7 @@ type multiSink struct {
 	shards   []ShardObserver
 	traces   []TraceObserver
 	coresets []CoresetObserver
+	scheds   []SchedObserver
 }
 
 // Tee returns a sink that forwards every event to all given sinks (nils are
@@ -180,6 +204,9 @@ func Tee(sinks ...Sink) Sink {
 		}
 		if o, ok := s.(CoresetObserver); ok {
 			m.coresets = append(m.coresets, o)
+		}
+		if o, ok := s.(SchedObserver); ok {
+			m.scheds = append(m.scheds, o)
 		}
 	}
 	return m
@@ -217,6 +244,13 @@ func (m *multiSink) ObserveTraceChunk(op TraceChunk) {
 func (m *multiSink) ObserveCoresetRefresh(r CoresetRefresh) {
 	for _, o := range m.coresets {
 		o.ObserveCoresetRefresh(r)
+	}
+}
+
+// ObserveSchedTick implements SchedObserver.
+func (m *multiSink) ObserveSchedTick(s SchedTick) {
+	for _, o := range m.scheds {
+		o.ObserveSchedTick(s)
 	}
 }
 

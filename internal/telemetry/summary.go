@@ -42,6 +42,10 @@ const (
 	MShardGuests = "shard.guests"
 	MShardLocals = "shard.locals"
 
+	MSchedDueDequeued    = "sched.due_dequeued"
+	MSchedBucketsTouched = "sched.buckets_touched"
+	MSchedShardBatches   = "sched.shard_batches"
+
 	MTraceLoads         = "trace.chunk_loads"
 	MTraceEvicts        = "trace.chunk_evicts"
 	MTracePrefetches    = "trace.chunk_prefetches"
@@ -73,6 +77,7 @@ func KnownMetrics() []string {
 		MContactsOpened, MContactDuration,
 		MTrainSteps, MTrainWallNs,
 		MShardScans, MShardPairs, MShardGuests, MShardLocals,
+		MSchedDueDequeued, MSchedBucketsTouched, MSchedShardBatches,
 		MTraceLoads, MTraceEvicts, MTracePrefetches, MTraceResident,
 		MTraceFetchRetries, MTraceFetchWaitNs, MTracePrefetchDepth,
 		MFaultsInjected, MChatResumed, MResumeSavedB, MSalvages, MSalvageFrames,
@@ -194,6 +199,15 @@ func (s *Summary) ObserveShardScan(scan ShardScan) {
 	s.Reg.Inc(MShardPairs, int64(scan.Pairs))
 	s.Reg.Inc(MShardGuests, int64(scan.Guests))
 	s.Reg.Observe(MShardLocals, localsEdges, float64(scan.Locals))
+}
+
+// ObserveSchedTick implements SchedObserver: calendar-queue and batching
+// internals live only in these aggregates, never in the event stream, so
+// the calendar and legacy-due-scan arms emit byte-identical events.
+func (s *Summary) ObserveSchedTick(t SchedTick) {
+	s.Reg.Inc(MSchedDueDequeued, int64(t.DueDequeued))
+	s.Reg.Inc(MSchedBucketsTouched, int64(t.BucketsTouched))
+	s.Reg.Inc(MSchedShardBatches, int64(t.ShardBatches))
 }
 
 // ObserveCoresetRefresh implements CoresetObserver: incremental-refresh
